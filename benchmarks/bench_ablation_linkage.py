@@ -1,0 +1,34 @@
+"""Benchmark A1 — HC linkage ablation.
+
+The paper does not pin down the linkage; this ablation shows cluster
+recovery per linkage on a planted federation.  Average/complete linkage
+must recover the planted groups perfectly on this well-separated case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import run_linkage_ablation
+
+EXPERIMENT_ID = "A1"
+
+
+def _a1(experiment_cache, scale):
+    if EXPERIMENT_ID not in experiment_cache:
+        experiment_cache[EXPERIMENT_ID] = run_linkage_ablation(scale=scale)
+    return experiment_cache[EXPERIMENT_ID]
+
+
+@pytest.mark.benchmark(group="ablation", min_rounds=1, max_time=1.0, warmup=False)
+def test_bench_ablation_linkage(benchmark, experiment_cache, scale, capsys):
+    result = benchmark.pedantic(
+        lambda: _a1(experiment_cache, scale), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.format())
+
+    assert result.ari_of("average") == pytest.approx(1.0)
+    assert result.ari_of("complete") == pytest.approx(1.0)
+    assert result.ari_of("ward") == pytest.approx(1.0)

@@ -1,0 +1,43 @@
+"""Benchmark F2 — the Fig. 2 workflow incl. real-time newcomer onboarding.
+
+Prints the six-step trace and asserts the workflow claims: clustering is
+one-shot, the upload is partial (a small fraction of the full model),
+planted groups are recovered, and the newcomer lands in its ground-truth
+cluster where the cluster model serves it better than the initial model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig2 import format_fig2, run_fig2
+
+EXPERIMENT_ID = "F2"
+
+
+def _fig2(experiment_cache, scale):
+    if EXPERIMENT_ID not in experiment_cache:
+        experiment_cache[EXPERIMENT_ID] = run_fig2(scale=scale)
+    return experiment_cache[EXPERIMENT_ID]
+
+
+@pytest.mark.benchmark(group="fig2", min_rounds=1, max_time=1.0, warmup=False)
+def test_bench_fig2_workflow(benchmark, experiment_cache, scale, capsys):
+    result = benchmark.pedantic(
+        lambda: _fig2(experiment_cache, scale), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(format_fig2(result))
+
+    assert len(result.steps) == 6, "workflow must trace all six steps"
+    # One-shot clustering with partial weights: the clustering upload is a
+    # small fraction of shipping full models.
+    assert result.partial_upload_fraction < 0.25
+    # The planted structure is recovered.
+    assert result.ari == pytest.approx(1.0), f"ARI {result.ari}"
+    # The newcomer is routed to its ground-truth cluster, decisively.
+    assert result.newcomer_correct
+    assert result.newcomer_margin > 0
+    # And the cluster model serves the newcomer better than the init model.
+    assert result.newcomer_acc_with_cluster > result.newcomer_acc_with_init

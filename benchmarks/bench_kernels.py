@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the substrate's hot kernels.
+
+Not a paper artefact — these watch the performance-critical primitives
+(im2col convolution, aggregation, linkage, pairwise distances) so
+regressions in the simulator's inner loops are visible in benchmark runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.distance import pairwise_euclidean
+from repro.cluster.hierarchy import linkage
+from repro.fl.aggregation import weighted_average
+from repro.nn.layers import Conv2d
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.models import lenet5
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_conv_forward(benchmark, rng):
+    layer = Conv2d(3, 16, 5, rng)
+    x = rng.standard_normal((32, 3, 32, 32)).astype(np.float32)
+    benchmark(layer.forward, x)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_conv_backward(benchmark, rng):
+    layer = Conv2d(3, 16, 5, rng)
+    x = rng.standard_normal((32, 3, 32, 32)).astype(np.float32)
+    out = layer.forward(x)
+    grad = rng.standard_normal(out.shape).astype(np.float32)
+
+    def run():
+        layer.forward(x)
+        layer.backward(grad)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_lenet_train_step(benchmark, rng):
+    model = lenet5((3, 32, 32), 10, rng)
+    loss = CrossEntropyLoss()
+    x = rng.standard_normal((32, 3, 32, 32)).astype(np.float32)
+    y = rng.integers(0, 10, size=32)
+
+    def step():
+        model.zero_grad()
+        loss.forward(model.forward(x), y)
+        model.backward(loss.backward())
+
+    benchmark(step)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_weighted_average(benchmark, rng):
+    model = lenet5((3, 32, 32), 10, rng)
+    states = [model.state_dict() for _ in range(20)]
+    weights = list(rng.integers(1, 100, size=20))
+    benchmark(weighted_average, states, weights)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_pairwise_euclidean(benchmark, rng):
+    x = rng.standard_normal((100, 900))
+    benchmark(pairwise_euclidean, x)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_linkage_average(benchmark, rng):
+    d = pairwise_euclidean(rng.standard_normal((100, 16)))
+    benchmark(linkage, d, "average")

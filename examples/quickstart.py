@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Quickstart: train FedClust on a non-IID federation in ~30 seconds.
+
+Builds a synthetic CIFAR-10-like federation with Dirichlet(0.1) label
+skew (the paper's Table-I setting), runs FedClust, and prints the round-
+by-round accuracy, the discovered clusters, and the communication bill.
+
+Run:
+    python examples/quickstart.py
+    python examples/quickstart.py --dataset fmnist --clients 16 --rounds 12
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    FederatedEnv,
+    FedClust,
+    FedClustConfig,
+    TrainConfig,
+    build_federation,
+)
+from repro.core import ClusteringConfig
+from repro.utils.logging import enable_console_logging
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="cifar10",
+                        help="cifar10 | fmnist | svhn (synthetic lookalikes)")
+    parser.add_argument("--clients", type=int, default=10)
+    parser.add_argument("--samples", type=int, default=2000)
+    parser.add_argument("--rounds", type=int, default=8)
+    parser.add_argument("--alpha", type=float, default=0.1,
+                        help="Dirichlet concentration (0.1 = paper's severe skew)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    enable_console_logging()
+
+    federation = build_federation(
+        args.dataset,
+        n_clients=args.clients,
+        n_samples=args.samples,
+        seed=args.seed,
+        partition="dirichlet",
+        alpha=args.alpha,
+    )
+    print(federation.summary())
+
+    env = FederatedEnv(
+        federation,
+        model_name="lenet5",
+        train_cfg=TrainConfig(local_epochs=1, batch_size=32, lr=0.03, momentum=0.9),
+        seed=args.seed,
+    )
+    algorithm = FedClust(
+        FedClustConfig(
+            warmup_steps=20,
+            warmup_lr=0.01,
+            warm_start_final_layer=True,
+            clustering=ClusteringConfig(cut="silhouette", max_clusters=args.clients // 2),
+        )
+    )
+    result = algorithm.run(env, n_rounds=args.rounds, eval_every=2)
+
+    print("\nround  train-loss  mean-local-acc  clusters")
+    for record in result.history.records:
+        print(
+            f"{record.round_index:>5d}  {record.mean_train_loss:>10.3f}  "
+            f"{record.mean_local_accuracy:>14.3f}  {record.n_clusters:>8d}"
+        )
+
+    print(f"\nfinal mean local accuracy: {result.final_accuracy:.3f} "
+          f"(± {result.accuracy_std:.3f} across clients)")
+    print(f"clusters discovered (no predefined k): {result.n_clusters}")
+    for g in range(result.n_clusters):
+        members = [i for i, label in enumerate(result.cluster_labels) if label == g]
+        print(f"  cluster {g}: clients {members}")
+    comm = result.comm["total"]
+    clustering = result.comm.get("clustering", {})
+    print(
+        f"traffic: {comm['bytes'] / 1e6:.1f} MB total; clustering phase uploaded "
+        f"only {clustering.get('uploaded', 0) * 4 / 1e3:.1f} KB "
+        f"(partial final-layer weights)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro — a full reproduction of *FedClust: Optimizing Federated Learning
+on Non-IID Data through Weight-Driven Client Clustering* (IPDPSW 2024).
+
+Top-level convenience re-exports cover the typical workflow::
+
+    from repro import build_federation, FederatedEnv, TrainConfig, FedClust
+
+    fed = build_federation("cifar10", n_clients=20, n_samples=4000, seed=0,
+                           partition="dirichlet", alpha=0.1)
+    env = FederatedEnv(fed, model_name="lenet5",
+                       train_cfg=TrainConfig(local_epochs=2), seed=0)
+    result = FedClust().run(env, n_rounds=30)
+    print(result.final_accuracy, result.n_clusters)
+
+Sub-packages:
+
+* :mod:`repro.nn` — from-scratch NumPy deep-learning substrate;
+* :mod:`repro.data` — synthetic datasets and federated partitioners;
+* :mod:`repro.cluster` — distances, hierarchical clustering, metrics;
+* :mod:`repro.fl` — the federated simulation machinery;
+* :mod:`repro.algorithms` — FedAvg, FedProx, CFL, IFCA, PACFL baselines;
+* :mod:`repro.core` — FedClust itself;
+* :mod:`repro.experiments` — drivers that regenerate the paper's
+  tables and figures.
+"""
+
+from repro.algorithms import (
+    CFL,
+    IFCA,
+    PACFL,
+    FedAvg,
+    FedProx,
+    RunResult,
+    available_algorithms,
+    make_algorithm,
+)
+from repro.core import (
+    ClusteringConfig,
+    FedClust,
+    FedClustConfig,
+    FittedFedClust,
+)
+from repro.data import ArrayDataset, Federation, build_federation, make_dataset
+from repro.fl import (
+    CommunicationTracker,
+    FederatedEnv,
+    RunHistory,
+    TrainConfig,
+    make_executor,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CFL",
+    "IFCA",
+    "PACFL",
+    "FedAvg",
+    "FedProx",
+    "RunResult",
+    "available_algorithms",
+    "make_algorithm",
+    "ClusteringConfig",
+    "FedClust",
+    "FedClustConfig",
+    "FittedFedClust",
+    "ArrayDataset",
+    "Federation",
+    "build_federation",
+    "make_dataset",
+    "CommunicationTracker",
+    "FederatedEnv",
+    "RunHistory",
+    "TrainConfig",
+    "make_executor",
+    "__version__",
+]

@@ -1,0 +1,192 @@
+"""Algorithm interface and shared round machinery.
+
+Every method in the paper's Table I — FedAvg, FedProx, CFL, IFCA, PACFL
+and FedClust — is a strategy object with a single entry point,
+``run(env, n_rounds)``.  The helpers here implement the two recurring
+building blocks so each algorithm file only contains what is genuinely
+different about it:
+
+* :func:`fedavg_round` — broadcast a state to a member set, train
+  locally, aggregate by sample count, account the traffic;
+* :func:`run_clustered_training` — the per-cluster FedAvg loop that
+  one-shot methods (FedClust, PACFL) enter after clustering.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.fl.aggregation import weighted_average
+from repro.fl.history import RoundRecord, RunHistory
+from repro.fl.parallel import UpdateTask
+from repro.fl.sampling import full_participation, uniform_sample
+from repro.fl.simulation import FederatedEnv
+
+__all__ = [
+    "RunResult",
+    "FLAlgorithm",
+    "fedavg_round",
+    "states_for_clients",
+    "evaluate_assignment",
+    "run_clustered_training",
+]
+
+
+@dataclass
+class RunResult:
+    """End-of-run artefacts shared by all algorithms.
+
+    ``final_accuracy``/``accuracy_std`` are the Table-I statistics *within*
+    a run (mean/std over clients); the cross-seed std the paper reports is
+    computed by the experiment driver over several ``RunResult``s.
+    """
+
+    history: RunHistory
+    final_accuracy: float
+    accuracy_std: float
+    per_client_accuracy: np.ndarray
+    cluster_labels: np.ndarray | None = None
+    comm: dict = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def n_clusters(self) -> int:
+        if self.cluster_labels is None:
+            return 1
+        return int(np.max(self.cluster_labels)) + 1
+
+
+class FLAlgorithm(abc.ABC):
+    """A federated training strategy."""
+
+    #: Registry/reporting name; subclasses override.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(self, env: FederatedEnv, n_rounds: int, eval_every: int = 1) -> RunResult:
+        """Train for ``n_rounds`` communication rounds on ``env``.
+
+        ``eval_every`` throttles the (per-client) evaluation pass; the
+        final round is always evaluated.
+        """
+
+    def _participants(
+        self, env: FederatedEnv, round_index: int, fraction: float
+    ) -> np.ndarray:
+        """Sample this round's participants (full participation if 1.0)."""
+        if fraction >= 1.0:
+            return full_participation(env.federation.n_clients)
+        return uniform_sample(
+            env.federation.n_clients, fraction, env.server_rng(round_index)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def fedavg_round(
+    env: FederatedEnv,
+    state: Mapping[str, np.ndarray],
+    members: Sequence[int],
+    round_index: int,
+    prox_mu: float = 0.0,
+    phase: str = "training",
+) -> tuple[dict[str, np.ndarray], float, list]:
+    """One FedAvg round for a member set starting from ``state``.
+
+    Returns ``(aggregated_state, mean_train_loss, updates)``.  Traffic:
+    every member downloads the full model and uploads its full update.
+    """
+    if len(members) == 0:
+        raise ValueError("fedavg_round needs at least one member")
+    tasks = [UpdateTask(int(cid), state, prox_mu=prox_mu) for cid in members]
+    env.tracker.record_download(env.n_params * len(members), phase)
+    updates = env.run_updates(tasks, round_index)
+    env.tracker.record_upload(env.n_params * len(members), phase)
+    new_state = weighted_average(
+        [u.state for u in updates], [u.n_samples for u in updates]
+    )
+    mean_loss = float(np.mean([u.mean_loss for u in updates]))
+    return new_state, mean_loss, updates
+
+
+def states_for_clients(
+    cluster_states: Sequence[Mapping[str, np.ndarray]], labels: np.ndarray
+) -> list[Mapping[str, np.ndarray]]:
+    """Expand per-cluster states to a per-client list via ``labels``."""
+    labels = np.asarray(labels)
+    if labels.min() < 0 or labels.max() >= len(cluster_states):
+        raise ValueError(
+            f"labels reference clusters outside [0, {len(cluster_states)})"
+        )
+    return [cluster_states[int(g)] for g in labels]
+
+
+def evaluate_assignment(
+    env: FederatedEnv,
+    cluster_states: Sequence[Mapping[str, np.ndarray]],
+    labels: np.ndarray,
+) -> tuple[float, np.ndarray]:
+    """Mean local accuracy when each client is served its cluster model."""
+    return env.mean_local_accuracy(states_for_clients(cluster_states, labels))
+
+
+def run_clustered_training(
+    env: FederatedEnv,
+    labels: np.ndarray,
+    cluster_states: list[dict[str, np.ndarray]],
+    history: RunHistory,
+    n_rounds: int,
+    first_round: int,
+    eval_every: int = 1,
+    client_fraction: float = 1.0,
+) -> tuple[list[dict[str, np.ndarray]], float, np.ndarray]:
+    """Per-cluster FedAvg for rounds ``first_round .. first_round+n_rounds-1``.
+
+    Used by the one-shot methods after their clustering step.  Returns the
+    final cluster states and the last evaluation (mean, per-client vector).
+    """
+    labels = np.asarray(labels)
+    n_clusters = len(cluster_states)
+    members_of = [np.flatnonzero(labels == g) for g in range(n_clusters)]
+    mean_acc, per_client = float("nan"), np.full(env.federation.n_clients, np.nan)
+
+    for offset in range(n_rounds):
+        round_index = first_round + offset
+        t0 = time.perf_counter()
+        losses = []
+        rng = env.server_rng(round_index)
+        for g in range(n_clusters):
+            members = members_of[g]
+            if len(members) == 0:
+                continue
+            if client_fraction < 1.0 and len(members) > 1:
+                n_pick = max(1, int(round(client_fraction * len(members))))
+                members = np.sort(rng.choice(members, size=n_pick, replace=False))
+            new_state, loss, _ = fedavg_round(
+                env, cluster_states[g], members, round_index
+            )
+            cluster_states[g] = new_state
+            losses.append(loss)
+
+        is_last = offset == n_rounds - 1
+        if is_last or (round_index % eval_every == 0):
+            mean_acc, per_client = evaluate_assignment(env, cluster_states, labels)
+        history.append(
+            RoundRecord(
+                round_index=round_index,
+                mean_train_loss=float(np.mean(losses)) if losses else float("nan"),
+                mean_local_accuracy=mean_acc,
+                n_participants=int(sum(len(m) for m in members_of)),
+                n_clusters=n_clusters,
+                uploaded_params=env.tracker.total_uploaded,
+                downloaded_params=env.tracker.total_downloaded,
+                wall_seconds=time.perf_counter() - t0,
+            )
+        )
+    return cluster_states, mean_acc, per_client

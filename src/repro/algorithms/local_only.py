@@ -1,0 +1,76 @@
+"""Local-only training — the no-collaboration reference point.
+
+Every client trains its own model on its own data and never
+communicates.  Not in the paper's Table I, but the standard sanity
+anchor for clustered-FL results: a clustered method is only interesting
+where it beats *both* the single global model (FedAvg) and pure
+personalisation (this baseline).  Under severe label skew with tiny
+local datasets, local-only overfits; clustering wins by pooling
+same-distribution clients.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.algorithms.base import FLAlgorithm, RunResult
+from repro.fl.history import RoundRecord, RunHistory
+from repro.fl.parallel import UpdateTask
+from repro.fl.simulation import FederatedEnv
+
+__all__ = ["LocalOnly"]
+
+
+class LocalOnly(FLAlgorithm):
+    """Per-client isolated training (zero communication)."""
+
+    name = "local_only"
+
+    def run(self, env: FederatedEnv, n_rounds: int, eval_every: int = 1) -> RunResult:
+        if n_rounds < 1:
+            raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
+        m = env.federation.n_clients
+        history = RunHistory(self.name, env.federation.dataset_name, env.seed)
+        # Every client starts from the shared init (fair comparison) and
+        # keeps its own weights forever after.
+        client_states = [env.init_state() for _ in range(m)]
+        mean_acc, per_client = float("nan"), np.full(m, np.nan)
+
+        for round_index in range(1, n_rounds + 1):
+            t0 = time.perf_counter()
+            tasks = [
+                UpdateTask(cid, client_states[cid]) for cid in range(m)
+            ]
+            updates = env.run_updates(tasks, round_index)
+            losses = []
+            for update in updates:
+                client_states[update.client_id] = dict(update.state)
+                losses.append(update.mean_loss)
+            # No tracker calls: nothing crosses the network.
+
+            is_last = round_index == n_rounds
+            if is_last or round_index % eval_every == 0:
+                mean_acc, per_client = env.mean_local_accuracy(client_states)
+            history.append(
+                RoundRecord(
+                    round_index=round_index,
+                    mean_train_loss=float(np.mean(losses)),
+                    mean_local_accuracy=mean_acc,
+                    n_participants=m,
+                    n_clusters=m,  # every client is its own island
+                    uploaded_params=env.tracker.total_uploaded,
+                    downloaded_params=env.tracker.total_downloaded,
+                    wall_seconds=time.perf_counter() - t0,
+                )
+            )
+
+        return RunResult(
+            history=history,
+            final_accuracy=mean_acc,
+            accuracy_std=float(np.std(per_client)),
+            per_client_accuracy=per_client,
+            cluster_labels=np.arange(m, dtype=np.int64),
+            comm=env.tracker.by_phase() | {"total": env.tracker.snapshot()},
+        )

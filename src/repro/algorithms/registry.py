@@ -1,0 +1,52 @@
+"""Algorithm registry: name → configured strategy.
+
+The Table-I harness instantiates all six methods through this registry,
+so a bench or example can sweep methods with plain strings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.algorithms.base import FLAlgorithm
+from repro.algorithms.cfl import CFL
+from repro.algorithms.fedavg import FedAvg
+from repro.algorithms.fedprox import FedProx
+from repro.algorithms.ifca import IFCA
+from repro.algorithms.local_only import LocalOnly
+from repro.algorithms.pacfl import PACFL
+from repro.core.fedclust import FedClust, FedClustConfig
+
+__all__ = ["ALGORITHMS", "available_algorithms", "make_algorithm"]
+
+ALGORITHMS: dict[str, Callable[..., FLAlgorithm]] = {
+    "fedavg": FedAvg,
+    "fedprox": FedProx,
+    "cfl": CFL,
+    "ifca": IFCA,
+    "pacfl": PACFL,
+    "fedclust": FedClust,
+    "local_only": LocalOnly,
+}
+
+
+def available_algorithms() -> list[str]:
+    """Registry keys, Table-I order (``local_only`` is an extra
+    no-collaboration reference beyond the paper's Table I)."""
+    return ["fedavg", "fedprox", "cfl", "ifca", "pacfl", "fedclust"]
+
+
+def make_algorithm(name: str, **kwargs) -> FLAlgorithm:
+    """Instantiate a method by name with its own constructor kwargs.
+
+    ``fedclust`` accepts either a ready ``config=FedClustConfig(...)`` or
+    the config's keyword fields directly.
+    """
+    key = name.lower()
+    if key not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {name!r}; options: {available_algorithms()}"
+        )
+    if key == "fedclust" and kwargs and "config" not in kwargs:
+        return FedClust(FedClustConfig(**kwargs))
+    return ALGORITHMS[key](**kwargs)

@@ -1,0 +1,244 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the experiment drivers without writing any Python:
+
+* ``table1`` — regenerate the paper's Table I;
+* ``fig1``   — the layer-wise distance probe (Fig. 1);
+* ``fig2``   — the workflow trace incl. newcomer (Fig. 2);
+* ``sweep``  — the Dirichlet-α heterogeneity sweep (A3);
+* ``comm``   — the communication-cost study (C1);
+* ``run``    — one algorithm on one federation, fully parameterised.
+
+All commands accept ``--scale quick|bench|paper`` (or the ``REPRO_SCALE``
+environment variable) and ``--out results.json`` to persist metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.utils.logging import enable_console_logging
+from repro.utils.serialization import save_json
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", default=None, choices=["quick", "bench", "paper"],
+                        help="experiment scale preset (default: $REPRO_SCALE or quick)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write a JSON result record to PATH")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FedClust reproduction — regenerate the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="Table I: six methods × three datasets")
+    _add_common(p)
+    p.add_argument("--datasets", nargs="+", default=["cifar10", "fmnist", "svhn"])
+    p.add_argument("--methods", nargs="+", default=None,
+                   help="subset of: fedavg fedprox cfl ifca pacfl fedclust")
+    p.add_argument("--alpha", type=float, default=0.1)
+
+    p = sub.add_parser("fig1", help="Fig. 1: layer-wise weight-distance probe")
+    _add_common(p)
+    p.add_argument("--dataset", default="cifar10")
+    p.add_argument("--clients", type=int, default=10)
+    p.add_argument("--layers", type=int, nargs="+", default=[1, 7, 14, 16])
+
+    p = sub.add_parser("fig2", help="Fig. 2: workflow trace incl. newcomer")
+    _add_common(p)
+    p.add_argument("--dataset", default="fmnist")
+
+    p = sub.add_parser("sweep", help="A3: FedClust vs FedAvg across Dirichlet alpha")
+    _add_common(p)
+    p.add_argument("--alphas", type=float, nargs="+",
+                   default=[0.05, 0.1, 0.5, 1.0, 100.0])
+    p.add_argument("--dataset", default="cifar10")
+
+    p = sub.add_parser("comm", help="C1: communication-cost study")
+    _add_common(p)
+    p.add_argument("--dataset", default="fmnist")
+    p.add_argument("--target", type=float, default=0.8,
+                   help="target accuracy for the traffic-to-accuracy column")
+
+    p = sub.add_parser("run", help="run one algorithm on one federation")
+    _add_common(p)
+    p.add_argument("--algorithm", default="fedclust",
+                   help="fedavg|fedprox|cfl|ifca|pacfl|fedclust|local_only")
+    p.add_argument("--dataset", default="cifar10")
+    p.add_argument("--partition", default="dirichlet",
+                   choices=["dirichlet", "shard", "label_cluster", "iid"])
+    p.add_argument("--alpha", type=float, default=0.1)
+    p.add_argument("--clients", type=int, default=None)
+    p.add_argument("--rounds", type=int, default=None)
+    p.add_argument("--model", default="lenet5")
+    p.add_argument("--executor", default="serial",
+                   choices=["serial", "thread", "process"])
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+
+def _cmd_table1(args: argparse.Namespace) -> dict:
+    from repro.experiments.table1 import format_table1, run_table1
+
+    result = run_table1(
+        datasets=tuple(args.datasets),
+        methods=tuple(args.methods) if args.methods else None,
+        scale=args.scale,
+        alpha=args.alpha,
+    )
+    print(format_table1(result))
+    return {
+        "experiment": "table1",
+        "scale": result.scale_name,
+        "cells": {
+            f"{m}/{d}": {"mean": c.mean, "std": c.std, "accs": c.accuracies}
+            for (m, d), c in result.cells.items()
+        },
+    }
+
+
+def _cmd_fig1(args: argparse.Namespace) -> dict:
+    from repro.experiments.fig1 import format_fig1, run_fig1
+
+    result = run_fig1(
+        dataset=args.dataset,
+        n_clients=args.clients,
+        layer_indices=tuple(args.layers),
+        scale=args.scale,
+        seed=args.seed,
+    )
+    print(format_fig1(result))
+    return {
+        "experiment": "fig1",
+        "separability": {str(k): v for k, v in result.separability.items()},
+        "layer_names": {str(k): v for k, v in result.layer_names.items()},
+    }
+
+
+def _cmd_fig2(args: argparse.Namespace) -> dict:
+    from repro.experiments.fig2 import format_fig2, run_fig2
+
+    result = run_fig2(dataset=args.dataset, scale=args.scale, seed=args.seed)
+    print(format_fig2(result))
+    return {
+        "experiment": "fig2",
+        "ari": result.ari,
+        "newcomer_correct": result.newcomer_correct,
+        "partial_upload_fraction": result.partial_upload_fraction,
+        "final_accuracy": result.final_accuracy,
+    }
+
+
+def _cmd_sweep(args: argparse.Namespace) -> dict:
+    from repro.experiments.ablations import run_alpha_sweep
+
+    result = run_alpha_sweep(
+        alphas=tuple(args.alphas),
+        dataset=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    print(result.format())
+    return {
+        "experiment": "alpha_sweep",
+        "alphas": result.alphas,
+        "fedavg": result.fedavg,
+        "fedclust": result.fedclust,
+        "fedclust_k": result.fedclust_k,
+    }
+
+
+def _cmd_comm(args: argparse.Namespace) -> dict:
+    from repro.experiments.ablations import run_communication_study
+
+    result = run_communication_study(
+        dataset=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        target_accuracy=args.target,
+    )
+    print(result.format())
+    return {"experiment": "communication", "rows": result.rows}
+
+
+def _cmd_run(args: argparse.Namespace) -> dict:
+    from repro.algorithms.registry import make_algorithm
+    from repro.data.federation import build_federation
+    from repro.experiments.presets import algorithm_kwargs, get_scale
+    from repro.fl.parallel import make_executor
+    from repro.fl.simulation import FederatedEnv
+
+    scale = get_scale(args.scale)
+    n_clients = args.clients or scale.n_clients
+    n_rounds = args.rounds or scale.n_rounds
+    federation = build_federation(
+        args.dataset,
+        n_clients=n_clients,
+        n_samples=scale.n_samples,
+        seed=args.seed,
+        partition=args.partition,
+        alpha=args.alpha,
+    )
+    print(federation.summary())
+    with FederatedEnv(
+        federation,
+        model_name=args.model,
+        train_cfg=scale.train,
+        seed=args.seed,
+        executor=make_executor(args.executor),
+    ) as env:
+        algorithm = make_algorithm(
+            args.algorithm, **algorithm_kwargs(args.algorithm, scale)
+        )
+        result = algorithm.run(env, n_rounds=n_rounds, eval_every=scale.eval_every)
+    print(
+        f"{args.algorithm}: final accuracy {result.final_accuracy:.3f} "
+        f"(± {result.accuracy_std:.3f} across clients), "
+        f"{result.n_clusters} cluster(s), "
+        f"{result.comm['total']['bytes'] / 1e6:.1f} MB transferred"
+    )
+    return {
+        "experiment": "run",
+        "algorithm": args.algorithm,
+        "dataset": args.dataset,
+        "final_accuracy": result.final_accuracy,
+        "n_clusters": result.n_clusters,
+        "history": result.history.to_dict(),
+    }
+
+
+_COMMANDS: dict[str, Callable[[argparse.Namespace], dict]] = {
+    "table1": _cmd_table1,
+    "fig1": _cmd_fig1,
+    "fig2": _cmd_fig2,
+    "sweep": _cmd_sweep,
+    "comm": _cmd_comm,
+    "run": _cmd_run,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    enable_console_logging()
+    payload = _COMMANDS[args.command](args)
+    if args.out:
+        path = save_json(args.out, payload)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Text dendrogram rendering.
+
+The paper's step ⑤ is a dendrogram cut; this module draws the dendrogram
+in plain text so examples and benchmark output can show *why* the
+adaptive cut chose its cluster count — the merge heights and the gap are
+visible at a glance in a terminal.
+
+Example output for 2 planted groups of 3 clients::
+
+    c0 ──┐
+    c2 ──┤◄ 0.82
+    c4 ──┤◄ 1.10                 ┐
+    c1 ──┐                       │◄ 7.31
+    c3 ──┤◄ 0.95                 │
+    c5 ──┤◄ 1.21 ────────────────┘
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["dendrogram_text", "leaf_order"]
+
+
+def leaf_order(linkage_matrix: np.ndarray) -> list[int]:
+    """Left-to-right leaf order of the dendrogram (recursive traversal)."""
+    z = np.asarray(linkage_matrix)
+    n = z.shape[0] + 1
+
+    def leaves(node: int) -> list[int]:
+        if node < n:
+            return [node]
+        row = z[node - n]
+        return leaves(int(row[0])) + leaves(int(row[1]))
+
+    return leaves(2 * n - 2) if n > 1 else [0]
+
+
+def dendrogram_text(
+    linkage_matrix: np.ndarray,
+    labels: Sequence[str] | None = None,
+    width: int = 60,
+) -> str:
+    """Render a linkage matrix as an ASCII dendrogram.
+
+    Each merge is drawn as a bracket at a column proportional to its
+    merge height; leaves are listed top-to-bottom in dendrogram order.
+    Suited to the tens-of-clients scale of FL experiments.
+    """
+    z = np.asarray(linkage_matrix, dtype=np.float64)
+    if z.ndim != 2 or z.shape[1] != 4:
+        raise ValueError(f"linkage matrix must be (n-1, 4), got {z.shape}")
+    n = z.shape[0] + 1
+    names = list(labels) if labels is not None else [f"c{i}" for i in range(n)]
+    if len(names) != n:
+        raise ValueError(f"need {n} labels, got {len(names)}")
+
+    order = leaf_order(z)
+    row_of_leaf = {leaf: row for row, leaf in enumerate(order)}
+    label_w = max(len(s) for s in names)
+    max_h = float(z[:, 2].max()) or 1.0
+
+    def col(height: float) -> int:
+        return label_w + 2 + int(round((width - 1) * height / max_h))
+
+    canvas_w = label_w + 2 + width + 12
+    grid = [[" "] * canvas_w for _ in range(n)]
+    for row, leaf in enumerate(order):
+        for i, ch in enumerate(names[leaf].rjust(label_w)):
+            grid[row][i] = ch
+
+    # Track, per active cluster, its (row, column reached so far).
+    position: dict[int, tuple[int, int]] = {
+        leaf: (row_of_leaf[leaf], label_w + 1) for leaf in range(n)
+    }
+    for step in range(n - 1):
+        a, b = int(z[step, 0]), int(z[step, 1])
+        height = float(z[step, 2])
+        target = min(col(height), canvas_w - 9)
+        (row_a, col_a), (row_b, col_b) = position.pop(a), position.pop(b)
+        top, bottom = min(row_a, row_b), max(row_a, row_b)
+        for row, start in ((row_a, col_a), (row_b, col_b)):
+            for c in range(start, target):
+                if grid[row][c] == " ":
+                    grid[row][c] = "─"
+        for row in range(top, bottom + 1):
+            if grid[row][target] == " ":
+                grid[row][target] = "│"
+        grid[row_a][target] = "┐" if row_a == top else "┘"
+        grid[row_b][target] = "┐" if row_b == top else "┘"
+        mid = (row_a + row_b) // 2
+        annotation = f"◄ {height:.2f}"
+        for i, ch in enumerate(annotation):
+            c = target + 1 + i
+            if c < canvas_w and grid[mid][c] == " ":
+                grid[mid][c] = ch
+        position[n + step] = (mid, target + 1)
+
+    return "\n".join("".join(row).rstrip() for row in grid)

@@ -1,0 +1,121 @@
+"""Vectorised pairwise distances.
+
+These are the server-side kernels behind every proximity matrix in the
+library: FedClust's Euclidean matrix over final-layer weights, CFL's
+cosine similarities over updates, and PACFL's principal-angle matrix
+(in :mod:`repro.cluster.subspace`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_square_matrix
+
+__all__ = [
+    "pairwise_sqeuclidean",
+    "pairwise_euclidean",
+    "pairwise_cosine_similarity",
+    "pairwise_cosine_distance",
+    "pairwise_distances",
+    "condensed_from_square",
+    "square_from_condensed",
+    "validate_distance_matrix",
+]
+
+
+def pairwise_sqeuclidean(x: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between rows of ``x``.
+
+    Uses the Gram-matrix expansion ``|a|² + |b|² − 2a·b`` (one BLAS call
+    instead of an O(n²·d) broadcast), clamped at zero against rounding.
+    """
+    x = np.asarray(check_array("x", x, ndim=2), dtype=np.float64)
+    gram = x @ x.T
+    sq = np.diag(gram)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * gram
+    np.maximum(d2, 0.0, out=d2)
+    np.fill_diagonal(d2, 0.0)
+    return d2
+
+
+def pairwise_euclidean(x: np.ndarray) -> np.ndarray:
+    """Euclidean distances between rows of ``x`` (FedClust's metric)."""
+    return np.sqrt(pairwise_sqeuclidean(x))
+
+
+def pairwise_cosine_similarity(x: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Cosine similarity between rows of ``x`` (CFL's split criterion).
+
+    Zero rows get zero similarity to everything (rather than NaN), which
+    matches the "no update" semantics in CFL.
+    """
+    x = np.asarray(check_array("x", x, ndim=2), dtype=np.float64)
+    norms = np.linalg.norm(x, axis=1)
+    safe = np.where(norms > eps, norms, 1.0)
+    unit = x / safe[:, None]
+    unit[norms <= eps] = 0.0
+    sim = unit @ unit.T
+    np.clip(sim, -1.0, 1.0, out=sim)
+    return sim
+
+
+def pairwise_cosine_distance(x: np.ndarray) -> np.ndarray:
+    """``1 − cosine similarity`` with an exact zero diagonal."""
+    d = 1.0 - pairwise_cosine_similarity(x)
+    np.fill_diagonal(d, 0.0)
+    np.maximum(d, 0.0, out=d)
+    return d
+
+
+_METRICS = {
+    "euclidean": pairwise_euclidean,
+    "sqeuclidean": pairwise_sqeuclidean,
+    "cosine": pairwise_cosine_distance,
+}
+
+
+def pairwise_distances(x: np.ndarray, metric: str = "euclidean") -> np.ndarray:
+    """Dispatch on ``metric`` ∈ {euclidean, sqeuclidean, cosine}."""
+    if metric not in _METRICS:
+        raise ValueError(f"unknown metric {metric!r}; options: {sorted(_METRICS)}")
+    return _METRICS[metric](x)
+
+
+def condensed_from_square(d: np.ndarray) -> np.ndarray:
+    """Upper-triangle (scipy ``pdist``-style) vector of a square matrix."""
+    d = validate_distance_matrix(d)
+    iu = np.triu_indices(d.shape[0], k=1)
+    return d[iu]
+
+
+def square_from_condensed(condensed: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`condensed_from_square`."""
+    condensed = np.asarray(condensed, dtype=np.float64)
+    expected = n * (n - 1) // 2
+    if condensed.shape != (expected,):
+        raise ValueError(
+            f"condensed length {condensed.shape} mismatches n={n} "
+            f"(expected {expected})"
+        )
+    out = np.zeros((n, n))
+    iu = np.triu_indices(n, k=1)
+    out[iu] = condensed
+    out.T[iu] = condensed
+    return out
+
+
+def validate_distance_matrix(d: np.ndarray, atol: float = 1e-8) -> np.ndarray:
+    """Require a symmetric non-negative square matrix with zero diagonal."""
+    d = np.asarray(check_square_matrix("distance matrix", d), dtype=np.float64)
+    if np.any(d < -atol):
+        raise ValueError("distance matrix has negative entries")
+    if not np.allclose(d, d.T, atol=atol):
+        raise ValueError("distance matrix is not symmetric")
+    if np.any(np.abs(np.diag(d)) > atol):
+        raise ValueError("distance matrix diagonal is not zero")
+    # Exact-ify the invariants so downstream code can rely on them.
+    d = 0.5 * (d + d.T)
+    np.fill_diagonal(d, 0.0)
+    np.maximum(d, 0.0, out=d)
+    return d

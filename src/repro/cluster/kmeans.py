@@ -1,0 +1,88 @@
+"""Seeded k-means (Lloyd's algorithm with k-means++ init).
+
+Not used by FedClust itself — it exists as a substrate utility: IFCA's
+random cluster-model initialisation is compared against a k-means-style
+warm start in the ablations, and the test suite uses k-means as an
+independent clustering reference on planted data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_array, check_positive
+
+__all__ = ["KMeansResult", "kmeans_plus_plus_init", "kmeans"]
+
+
+@dataclass
+class KMeansResult:
+    """Fitted k-means state."""
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iter: int
+    converged: bool
+
+
+def kmeans_plus_plus_init(
+    x: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: iteratively sample centres ∝ squared distance."""
+    x = np.asarray(check_array("x", x, ndim=2), dtype=np.float64)
+    n = x.shape[0]
+    check_positive("k", k)
+    if k > n:
+        raise ValueError(f"k={k} exceeds n={n}")
+    centers = np.empty((k, x.shape[1]))
+    centers[0] = x[rng.integers(n)]
+    d2 = ((x - centers[0]) ** 2).sum(axis=1)
+    for j in range(1, k):
+        total = d2.sum()
+        if total <= 0:  # all points coincide with chosen centres
+            centers[j:] = x[rng.integers(n, size=k - j)]
+            break
+        probs = d2 / total
+        centers[j] = x[rng.choice(n, p=probs)]
+        d2 = np.minimum(d2, ((x - centers[j]) ** 2).sum(axis=1))
+    return centers
+
+
+def kmeans(
+    x: np.ndarray,
+    k: int,
+    seed: int | np.random.Generator,
+    max_iter: int = 100,
+    tol: float = 1e-7,
+) -> KMeansResult:
+    """Lloyd's algorithm; empty clusters are re-seeded at the farthest point."""
+    x = np.asarray(check_array("x", x, ndim=2), dtype=np.float64)
+    rng = make_rng(seed)
+    centers = kmeans_plus_plus_init(x, k, rng)
+    labels = np.zeros(x.shape[0], dtype=np.int64)
+    converged = False
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        # Assignment step (vectorised distance to all centres).
+        d2 = ((x[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        labels = d2.argmin(axis=1)
+        new_centers = centers.copy()
+        for j in range(k):
+            mask = labels == j
+            if mask.any():
+                new_centers[j] = x[mask].mean(axis=0)
+            else:
+                new_centers[j] = x[d2.min(axis=1).argmax()]
+        shift = float(np.abs(new_centers - centers).max())
+        centers = new_centers
+        if shift <= tol:
+            converged = True
+            break
+    d2 = ((x[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+    labels = d2.argmin(axis=1)
+    inertia = float(d2[np.arange(x.shape[0]), labels].sum())
+    return KMeansResult(centers, labels, inertia, n_iter, converged)

@@ -1,0 +1,75 @@
+"""Client data subspaces and principal angles — the PACFL substrate.
+
+PACFL (Vahidian et al., AAAI 2022) has each client send the top-``p``
+left singular vectors of its local data matrix; the server clusters
+clients by the *principal angles* between those subspaces.  This module
+implements both halves so :mod:`repro.algorithms.pacfl` is a faithful
+baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_positive
+
+__all__ = [
+    "data_subspace",
+    "principal_angles",
+    "subspace_distance",
+    "pairwise_subspace_distances",
+]
+
+
+def data_subspace(samples: np.ndarray, p: int) -> np.ndarray:
+    """Top-``p`` left singular vectors of the flattened sample matrix.
+
+    ``samples`` is ``(n_i, d)`` (rows are flattened images); the returned
+    basis is ``(d, p)`` with orthonormal columns.  ``p`` is capped at the
+    matrix rank bound ``min(n_i, d)``.
+    """
+    x = np.asarray(check_array("samples", samples, ndim=2), dtype=np.float64)
+    check_positive("p", p)
+    p = min(p, *x.shape)
+    # Economy SVD of x.T (d × n): left vectors of x.T's column space =
+    # principal directions of the samples in feature space.
+    u, _, _ = np.linalg.svd(x.T, full_matrices=False)
+    return u[:, :p]
+
+
+def principal_angles(basis_a: np.ndarray, basis_b: np.ndarray) -> np.ndarray:
+    """Principal angles (radians, ascending) between two subspaces.
+
+    Computed from the singular values of ``A.T @ B`` clipped into
+    ``[0, 1]``; bases must share the ambient dimension but may differ in
+    rank (the angle count is the smaller rank).
+    """
+    a = np.asarray(check_array("basis_a", basis_a, ndim=2), dtype=np.float64)
+    b = np.asarray(check_array("basis_b", basis_b, ndim=2), dtype=np.float64)
+    if a.shape[0] != b.shape[0]:
+        raise ValueError(
+            f"bases live in different ambient dims: {a.shape[0]} vs {b.shape[0]}"
+        )
+    sigma = np.linalg.svd(a.T @ b, compute_uv=False)
+    sigma = np.clip(sigma, 0.0, 1.0)
+    return np.sort(np.arccos(sigma))
+
+
+def subspace_distance(basis_a: np.ndarray, basis_b: np.ndarray) -> float:
+    """PACFL's proximity: the sum of principal angles (radians).
+
+    0 when the subspaces coincide; grows as they tilt apart.
+    """
+    return float(principal_angles(basis_a, basis_b).sum())
+
+
+def pairwise_subspace_distances(bases: list[np.ndarray]) -> np.ndarray:
+    """Square matrix of :func:`subspace_distance` over a basis list."""
+    n = len(bases)
+    if n < 2:
+        raise ValueError("need at least 2 bases")
+    out = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            out[i, j] = out[j, i] = subspace_distance(bases[i], bases[j])
+    return out

@@ -1,0 +1,392 @@
+"""FedClust — the paper's algorithm.
+
+Workflow (paper Fig. 2):
+
+① the server broadcasts the initial global model to all clients;
+② clients train locally for a few epochs;
+③ clients upload **only their final-layer weights** (partial weights);
+④ the server computes the Euclidean proximity matrix between uploads;
+⑤ the server runs agglomerative hierarchical clustering and cuts the
+  dendrogram adaptively (no predefined cluster count);
+⑥ newcomers are assigned to the nearest cluster in real time, with no
+  re-clustering.
+
+Steps ①–⑤ happen in **one communication round**; from the next round
+FedClust trains FedAvg-style *within each cluster*.  The clustering
+round's upload is just the classifier layer (for LeNet-5 on 10 classes:
+850 of 61 706 parameters — 1.4 %), which is the source of the paper's
+communication-cost advantage over iterative CFL/IFCA.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.algorithms.base import (
+    FLAlgorithm,
+    RunResult,
+    evaluate_assignment,
+    run_clustered_training,
+)
+from repro.core.clustering import ClusteringConfig, ClusteringResult, cluster_clients
+from repro.core.newcomer import NewcomerAssignment, assign_newcomer
+from repro.core.proximity import ProximityResult, proximity_matrix
+from repro.core.weights import (
+    final_layer_keys,
+    layer_index_keys,
+    layer_keys,
+    weight_matrix,
+)
+from repro.data.dataset import ArrayDataset
+from repro.fl.aggregation import weighted_average
+from repro.fl.client import local_train
+from repro.fl.history import RoundRecord, RunHistory
+from repro.fl.parallel import UpdateTask
+from repro.fl.simulation import FederatedEnv
+from repro.nn.module import Module
+from repro.nn.state import flatten_state
+from repro.utils.rng import rng_for
+from repro.utils.validation import check_in, check_positive
+
+__all__ = ["FedClustConfig", "FedClust", "FittedFedClust", "resolve_selection_keys"]
+
+_NEWCOMER_TAG = 9
+
+
+def resolve_selection_keys(model: Module, selection: str) -> list[str]:
+    """Map a weight-selection spec to state-dict keys.
+
+    * ``"final_layer"`` — the classifier (paper's choice);
+    * ``"all"`` — every parameter (what CFL-style methods transfer; the
+      A2 ablation baseline);
+    * ``"layer:<name>"`` — one named layer (e.g. ``"layer:conv1"``);
+    * ``"index:<i>"`` — the i-th weighted layer, 1-based, Fig. 1 style.
+    """
+    if selection == "final_layer":
+        return final_layer_keys(model)
+    if selection == "all":
+        return [name for name, _ in model.named_parameters()]
+    if selection.startswith("layer:"):
+        return layer_keys(model, selection.split(":", 1)[1])
+    if selection.startswith("index:"):
+        return layer_index_keys(model, int(selection.split(":", 1)[1]))[1]
+    raise ValueError(
+        f"unknown weight selection {selection!r}; use 'final_layer', 'all', "
+        f"'layer:<name>' or 'index:<i>'"
+    )
+
+
+@dataclass(frozen=True)
+class FedClustConfig:
+    """FedClust hyper-parameters.
+
+    Attributes
+    ----------
+    clustering:
+        Dendrogram construction/cut settings (step ⑤).
+    metric:
+        Proximity metric over uploaded weights (paper: Euclidean).
+    weight_selection:
+        What clients upload in the clustering round (paper: final layer).
+    warmup_epochs:
+        Local epochs in the clustering round; ``None`` reuses the
+        environment's ``local_epochs``.
+    warmup_lr, warmup_momentum:
+        Optimiser overrides for the clustering round only.  The paper does
+        not specify the warm-up optimiser; empirically the weight
+        signature is far sharper with a gentle, momentum-free pass
+        (momentum amplifies last-batch noise in the classifier weights),
+        so ``warmup_momentum`` defaults to 0.0 while ``warmup_lr = None``
+        keeps the environment's learning rate.  Set either to ``None`` to
+        inherit the environment's value.
+    warmup_steps:
+        If set, every client performs exactly this many SGD steps in the
+        clustering round (epochs repeat as needed, capped at the step
+        budget).  Equalising steps removes the dataset-size confound on
+        Dirichlet splits: without it, clients with tiny shards barely
+        move from the initial weights and cluster by update *magnitude*
+        instead of data distribution.
+    warm_start_final_layer:
+        If True, each cluster's initial model replaces its classifier
+        with the within-cluster average of the uploaded final layers.
+        The paper does not specify this (default False); the A2 ablation
+        measures its effect — it is free information the server already
+        holds.
+    max_clustering_attempts:
+        Straggler tolerance for the one-shot round: clients that fail to
+        report (e.g. under :class:`repro.fl.failures.FaultyExecutor`) are
+        retried up to this many times; clients still dark afterwards are
+        provisionally assigned to the largest cluster and recorded in
+        ``FittedFedClust.stragglers`` (they can be re-routed later through
+        the newcomer mechanism once they come back online).
+    """
+
+    clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
+    metric: str = "euclidean"
+    weight_selection: str = "final_layer"
+    warmup_epochs: int | None = None
+    warmup_lr: float | None = None
+    warmup_momentum: float | None = 0.0
+    warmup_steps: int | None = None
+    warm_start_final_layer: bool = False
+    max_clustering_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        check_in("metric", self.metric, ("euclidean", "sqeuclidean", "cosine"))
+        if self.warmup_epochs is not None:
+            check_positive("warmup_epochs", self.warmup_epochs)
+        if self.warmup_lr is not None:
+            check_positive("warmup_lr", self.warmup_lr)
+        if self.warmup_momentum is not None and self.warmup_momentum < 0:
+            raise ValueError(f"warmup_momentum must be >= 0, got {self.warmup_momentum}")
+        if self.warmup_steps is not None:
+            check_positive("warmup_steps", self.warmup_steps)
+        check_positive("max_clustering_attempts", self.max_clustering_attempts)
+
+    def warmup_train_cfg(self, base: "TrainConfig") -> "TrainConfig":  # noqa: F821
+        """The clustering-round training config derived from ``base``."""
+        overrides: dict[str, object] = {}
+        if self.warmup_epochs is not None:
+            overrides["local_epochs"] = self.warmup_epochs
+        if self.warmup_lr is not None:
+            overrides["lr"] = self.warmup_lr
+        if self.warmup_momentum is not None:
+            overrides["momentum"] = self.warmup_momentum
+        if self.warmup_steps is not None:
+            # Enough epochs to hit the step budget even for one-batch
+            # clients; max_steps enforces the exact count.
+            overrides["local_epochs"] = self.warmup_steps
+            overrides["max_steps"] = self.warmup_steps
+        return dataclasses.replace(base, **overrides) if overrides else base
+
+
+@dataclass
+class FittedFedClust:
+    """Server-side artefacts of the one-shot clustering round.
+
+    Retained so newcomers can be assigned without re-clustering (step ⑥)
+    and so diagnostics (proximity heat maps, dendrograms) can be produced
+    after the run.
+    """
+
+    labels: np.ndarray
+    weight_matrix: np.ndarray
+    proximity: ProximityResult
+    clustering: ClusteringResult
+    selection_keys: list[str]
+    config: FedClustConfig
+    init_state: dict[str, np.ndarray]
+    cluster_states: list[dict[str, np.ndarray]] = field(default_factory=list)
+    #: Clients whose warm-up never arrived (assigned by fallback).
+    stragglers: list[int] = field(default_factory=list)
+    #: Client ids whose rows make up ``weight_matrix`` (all clients when
+    #: nothing straggled).
+    responders: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.labels.max()) + 1
+
+    def assign_newcomer_vector(self, vector: np.ndarray) -> NewcomerAssignment:
+        """Step ⑥ for an already-extracted weight vector.
+
+        Matches against the retained *responder* signatures — stragglers
+        have no signature and never dilute the matching.
+        """
+        responder_labels = (
+            self.labels[self.responders]
+            if self.responders.size
+            else self.labels
+        )
+        return assign_newcomer(
+            vector,
+            self.weight_matrix,
+            responder_labels,
+            linkage_method=self.config.clustering.linkage_method,
+        )
+
+
+class FedClust(FLAlgorithm):
+    """One-shot weight-driven clustered federated learning."""
+
+    name = "fedclust"
+
+    def __init__(self, config: FedClustConfig | None = None) -> None:
+        self.config = config or FedClustConfig()
+
+    # ------------------------------------------------------------------
+    # Step ①–⑤: the clustering round
+    # ------------------------------------------------------------------
+    def clustering_round(
+        self, env: FederatedEnv, round_index: int = 1
+    ) -> FittedFedClust:
+        """Run the one-shot clustering round and fit the cluster structure."""
+        m = env.federation.n_clients
+        init = env.init_state()
+        selection = resolve_selection_keys(env.scratch_model, self.config.weight_selection)
+
+        # ①–② broadcast + local warm-up, with straggler retries.  Executors
+        # that never fail respond fully on the first attempt, so the retry
+        # loop is free in the common path.
+        original = env.train_cfg
+        warmup_cfg = self.config.warmup_train_cfg(original)
+        updates_by_client: dict[int, object] = {}
+        pending = list(range(m))
+        for attempt in range(self.config.max_clustering_attempts):
+            if not pending:
+                break
+            tasks = [UpdateTask(cid, init) for cid in pending]
+            env.tracker.record_download(env.n_params * len(pending), phase="clustering")
+            # Distinct rng epoch per retry so failure draws are fresh.
+            attempt_round = round_index + 1_000_000 * attempt
+            if warmup_cfg is not original:
+                env.train_cfg = warmup_cfg
+                try:
+                    got = env.run_updates(tasks, attempt_round)
+                finally:
+                    env.train_cfg = original
+            else:
+                got = env.run_updates(tasks, attempt_round)
+            for update in got:
+                updates_by_client[update.client_id] = update
+            pending = [cid for cid in pending if cid not in updates_by_client]
+        stragglers = sorted(pending)
+        responders = np.array(sorted(updates_by_client), dtype=np.int64)
+        if responders.size < 2:
+            raise RuntimeError(
+                f"clustering round needs >= 2 responding clients, got "
+                f"{responders.size} (stragglers: {stragglers})"
+            )
+
+        # ③ upload only the selected partial weights (responders only).
+        updates = [updates_by_client[cid] for cid in responders]
+        states = [u.state for u in updates]
+        w = weight_matrix(states, selection)
+        env.tracker.record_upload(int(w.shape[1]) * len(responders), phase="clustering")
+
+        # ④ proximity matrix; ⑤ hierarchical clustering + adaptive cut.
+        prox = proximity_matrix(w, metric=self.config.metric)
+        clustering = cluster_clients(prox.matrix, self.config.clustering)
+
+        # Expand responder labels to all clients; stragglers fall back to
+        # the largest cluster until they can be onboarded as newcomers.
+        labels = np.full(m, -1, dtype=np.int64)
+        labels[responders] = clustering.labels
+        if stragglers:
+            fallback = int(np.bincount(clustering.labels).argmax())
+            labels[stragglers] = fallback
+
+        # Initial per-cluster models.
+        cluster_states = []
+        for g in range(clustering.n_clusters):
+            state = {k: v.copy() for k, v in init.items()}
+            if self.config.warm_start_final_layer:
+                members = clustering.members_of(g)
+                member_states = [states[i] for i in members]
+                sizes = [updates[i].n_samples for i in members]
+                averaged = weighted_average(
+                    [{k: s[k] for k in selection} for s in member_states], sizes
+                )
+                state.update({k: v.copy() for k, v in averaged.items()})
+            cluster_states.append(state)
+
+        return FittedFedClust(
+            labels=labels,
+            weight_matrix=w,
+            proximity=prox,
+            clustering=clustering,
+            selection_keys=selection,
+            config=self.config,
+            init_state=init,
+            cluster_states=cluster_states,
+            stragglers=stragglers,
+            responders=responders,
+        )
+
+    # ------------------------------------------------------------------
+    # Full training run
+    # ------------------------------------------------------------------
+    def run(self, env: FederatedEnv, n_rounds: int, eval_every: int = 1) -> RunResult:
+        if n_rounds < 2:
+            raise ValueError("FedClust needs >= 2 rounds (1 clustering + training)")
+        m = env.federation.n_clients
+        history = RunHistory(self.name, env.federation.dataset_name, env.seed)
+
+        fitted = self.clustering_round(env, round_index=1)
+        mean_acc, _ = evaluate_assignment(env, fitted.cluster_states, fitted.labels)
+        history.append(
+            RoundRecord(
+                round_index=1,
+                mean_train_loss=float("nan"),
+                mean_local_accuracy=mean_acc,
+                n_participants=m,
+                n_clusters=fitted.n_clusters,
+                uploaded_params=env.tracker.total_uploaded,
+                downloaded_params=env.tracker.total_downloaded,
+            )
+        )
+
+        cluster_states, mean_acc, per_client = run_clustered_training(
+            env,
+            fitted.labels,
+            fitted.cluster_states,
+            history,
+            n_rounds=n_rounds - 1,
+            first_round=2,
+            eval_every=eval_every,
+        )
+        fitted.cluster_states = cluster_states
+        return RunResult(
+            history=history,
+            final_accuracy=mean_acc,
+            accuracy_std=float(np.std(per_client)),
+            per_client_accuracy=per_client,
+            cluster_labels=fitted.labels,
+            comm=env.tracker.by_phase() | {"total": env.tracker.snapshot()},
+            extras={
+                "fitted": fitted,
+                "proximity": fitted.proximity.matrix,
+                "n_clusters": fitted.n_clusters,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Step ⑥: newcomers
+    # ------------------------------------------------------------------
+    def incorporate_newcomer(
+        self,
+        env: FederatedEnv,
+        fitted: FittedFedClust,
+        train_dataset: ArrayDataset,
+        newcomer_id: int = 0,
+    ) -> tuple[NewcomerAssignment, Mapping[str, np.ndarray]]:
+        """Onboard a new client in real time.
+
+        The newcomer downloads the *initial* global model, trains the same
+        warm-up epochs the clustering round used, uploads its partial
+        weights, and is matched against the retained weight matrix.
+        Returns the assignment plus the cluster model it should now use.
+        """
+        env.tracker.record_download(env.n_params, phase="newcomer")
+        model = env.scratch_model
+        model.load_state_dict(fitted.init_state)
+        cfg = self.config.warmup_train_cfg(env.train_cfg)
+        local_train(
+            model,
+            train_dataset,
+            cfg,
+            rng_for(env.seed, _NEWCOMER_TAG, newcomer_id),
+        )
+        vector = flatten_state(model.state_dict(copy=False), fitted.selection_keys)
+        env.tracker.record_upload(vector.shape[0], phase="newcomer")
+        assignment = fitted.assign_newcomer_vector(vector)
+        if fitted.cluster_states:
+            env.tracker.record_download(env.n_params, phase="newcomer")
+            serving_state = fitted.cluster_states[assignment.cluster]
+        else:
+            serving_state = fitted.init_state
+        return assignment, serving_state

@@ -1,0 +1,85 @@
+"""Real-time newcomer incorporation (step ⑥ of Fig. 2).
+
+A client that joins after the one-shot clustering round does not trigger
+re-clustering.  It receives the initial global model, trains briefly,
+uploads its final-layer weights, and the server assigns it to the
+cluster whose members' weight vectors are nearest — using a linkage-
+consistent distance (mean distance to members for average linkage, min
+for single, max for complete).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_in
+
+__all__ = ["NewcomerAssignment", "assign_newcomer"]
+
+
+@dataclass
+class NewcomerAssignment:
+    """Outcome of a newcomer assignment."""
+
+    cluster: int
+    distances: np.ndarray  # per-cluster linkage distance
+    margin: float  # runner-up distance minus winner distance
+
+
+def assign_newcomer(
+    newcomer_vector: np.ndarray,
+    member_matrix: np.ndarray,
+    labels: np.ndarray,
+    linkage_method: str = "average",
+) -> NewcomerAssignment:
+    """Assign a new client to the nearest existing cluster.
+
+    Parameters
+    ----------
+    newcomer_vector:
+        The newcomer's flattened final-layer weights, shape ``(d,)``.
+    member_matrix:
+        Existing clients' weight matrix, shape ``(m, d)`` — the same
+        matrix the one-shot clustering used (the server retains it).
+    labels:
+        Existing cluster labels, shape ``(m,)``.
+    linkage_method:
+        Distance from a point to a cluster, consistent with the linkage
+        used at clustering time: ``average`` → mean member distance,
+        ``single`` → min, ``complete`` → max, ``ward`` → treated as
+        ``average`` (standard practice for post-hoc assignment).
+    """
+    check_in("linkage_method", linkage_method, ("average", "single", "complete", "ward"))
+    v = np.asarray(check_array("newcomer_vector", newcomer_vector, ndim=1), dtype=np.float64)
+    w = np.asarray(check_array("member_matrix", member_matrix, ndim=2), dtype=np.float64)
+    labels = np.asarray(labels)
+    if w.shape[1] != v.shape[0]:
+        raise ValueError(
+            f"dimension mismatch: newcomer d={v.shape[0]}, members d={w.shape[1]}"
+        )
+    if labels.shape != (w.shape[0],):
+        raise ValueError(
+            f"labels shape {labels.shape} mismatches member count {w.shape[0]}"
+        )
+
+    member_dists = np.linalg.norm(w - v[None, :], axis=1)
+    n_clusters = int(labels.max()) + 1
+    reduce = {
+        "average": np.mean,
+        "ward": np.mean,
+        "single": np.min,
+        "complete": np.max,
+    }[linkage_method]
+    cluster_dists = np.array(
+        [reduce(member_dists[labels == g]) for g in range(n_clusters)]
+    )
+    order = np.argsort(cluster_dists)
+    winner = int(order[0])
+    margin = (
+        float(cluster_dists[order[1]] - cluster_dists[order[0]])
+        if n_clusters > 1
+        else float("inf")
+    )
+    return NewcomerAssignment(cluster=winner, distances=cluster_dists, margin=margin)

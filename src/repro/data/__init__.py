@@ -1,0 +1,43 @@
+"""Data substrate: synthetic datasets, partitioners, federation assembly."""
+
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import ArrayDataset
+from repro.data.federation import ClientData, Federation, build_federation
+from repro.data.partition import (
+    check_partition,
+    dirichlet_partition,
+    iid_partition,
+    label_cluster_partition,
+    partition_report,
+    shard_partition,
+)
+from repro.data.synthetic import (
+    SPECS,
+    DatasetSpec,
+    available_datasets,
+    class_templates,
+    generate_dataset,
+    get_spec,
+    make_dataset,
+)
+
+__all__ = [
+    "DataLoader",
+    "ArrayDataset",
+    "ClientData",
+    "Federation",
+    "build_federation",
+    "check_partition",
+    "dirichlet_partition",
+    "iid_partition",
+    "label_cluster_partition",
+    "partition_report",
+    "shard_partition",
+    "SPECS",
+    "DatasetSpec",
+    "available_datasets",
+    "class_templates",
+    "generate_dataset",
+    "get_spec",
+    "make_dataset",
+]

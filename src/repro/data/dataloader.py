@@ -1,0 +1,70 @@
+"""Minibatch iteration."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.utils.rng import make_rng
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Seeded minibatch iterator over an :class:`ArrayDataset`.
+
+    Each full iteration ("epoch") draws a fresh permutation from the
+    loader's generator, so epochs differ but runs are reproducible.
+
+    Parameters
+    ----------
+    dataset:
+        Source data.
+    batch_size:
+        Maximum rows per batch (the final batch may be smaller unless
+        ``drop_last``).
+    rng:
+        Seed or generator for shuffling.
+    shuffle:
+        Randomise order every epoch (default ``True``); evaluation uses
+        ``False`` for determinism.
+    drop_last:
+        Drop a trailing partial batch (default ``False``).
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        rng: int | np.random.Generator | None = None,
+        shuffle: bool = True,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if len(dataset) == 0:
+            raise ValueError("cannot iterate an empty dataset")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = make_rng(rng)
+
+    def __len__(self) -> int:
+        """Batches per epoch."""
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            batch = order[start : start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                break
+            yield self.dataset.images[batch], self.dataset.labels[batch]

@@ -1,0 +1,50 @@
+"""Federated-learning simulation substrate."""
+
+from repro.fl.aggregation import uniform_average, weighted_average
+from repro.fl.client import ClientUpdate, local_train, run_client_update
+from repro.fl.communication import (
+    BYTES_PER_PARAM,
+    CommunicationTracker,
+    params_in_keys,
+    params_in_state,
+)
+from repro.fl.config import TrainConfig
+from repro.fl.evaluation import EvalResult, evaluate_model, mean_local_accuracy
+from repro.fl.failures import FaultyExecutor
+from repro.fl.history import RoundRecord, RunHistory
+from repro.fl.parallel import (
+    ProcessClientExecutor,
+    SerialClientExecutor,
+    ThreadClientExecutor,
+    UpdateTask,
+    make_executor,
+)
+from repro.fl.sampling import full_participation, uniform_sample
+from repro.fl.simulation import FederatedEnv
+
+__all__ = [
+    "uniform_average",
+    "weighted_average",
+    "ClientUpdate",
+    "local_train",
+    "run_client_update",
+    "BYTES_PER_PARAM",
+    "CommunicationTracker",
+    "params_in_keys",
+    "params_in_state",
+    "TrainConfig",
+    "EvalResult",
+    "evaluate_model",
+    "mean_local_accuracy",
+    "FaultyExecutor",
+    "RoundRecord",
+    "RunHistory",
+    "ProcessClientExecutor",
+    "SerialClientExecutor",
+    "ThreadClientExecutor",
+    "UpdateTask",
+    "make_executor",
+    "full_participation",
+    "uniform_sample",
+    "FederatedEnv",
+]

@@ -1,0 +1,57 @@
+"""Server-side parameter aggregation.
+
+Implements the FedAvg rule — the weighted average of client states by
+local sample count — which every algorithm in this reproduction uses
+(globally for FedAvg/FedProx, per cluster for CFL/IFCA/PACFL/FedClust).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.nn.state import check_same_keys, state_axpy, state_zeros_like
+
+__all__ = ["weighted_average", "uniform_average"]
+
+
+def weighted_average(
+    states: Sequence[Mapping[str, np.ndarray]],
+    weights: Sequence[float],
+) -> "OrderedDict[str, np.ndarray]":
+    """``Σ_i (w_i / Σw) · state_i`` with shape/key checking.
+
+    Weights are typically client sample counts ``n_i`` (Eq. 1 of the
+    paper); they must be non-negative with a positive sum.
+    """
+    if len(states) != len(weights):
+        raise ValueError(
+            f"{len(states)} states but {len(weights)} weights"
+        )
+    if not states:
+        raise ValueError("cannot average zero states")
+    w = np.asarray(weights, dtype=np.float64)
+    if np.any(w < 0):
+        raise ValueError(f"weights must be non-negative, got {w}")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    check_same_keys(list(states))
+
+    acc = state_zeros_like(states[0])
+    # Accumulate in float64 for stability, cast back to parameter dtype.
+    acc64 = OrderedDict((k, v.astype(np.float64)) for k, v in acc.items())
+    for state, weight in zip(states, w):
+        state_axpy(acc64, state, weight / total)
+    return OrderedDict(
+        (k, acc64[k].astype(states[0][k].dtype)) for k in acc64
+    )
+
+
+def uniform_average(
+    states: Sequence[Mapping[str, np.ndarray]],
+) -> "OrderedDict[str, np.ndarray]":
+    """Unweighted mean of states (used in ablations)."""
+    return weighted_average(states, np.ones(len(states)))

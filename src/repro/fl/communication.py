@@ -1,0 +1,93 @@
+"""Communication-cost accounting.
+
+FL communication cost is conventionally reported in *parameters
+transferred* (× 4 bytes for float32).  The tracker tags every transfer
+with a phase label so experiments can separate one-off clustering
+overhead (FedClust's partial-weight upload, PACFL's basis upload) from
+steady-state training traffic — the comparison behind the paper's
+communication-cost claim.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+__all__ = ["CommunicationTracker", "params_in_state", "params_in_keys"]
+
+BYTES_PER_PARAM = 4  # float32 over the wire
+
+
+def params_in_state(state: Mapping[str, np.ndarray]) -> int:
+    """Total scalar count of a state dict."""
+    return int(sum(v.size for v in state.values()))
+
+
+def params_in_keys(state: Mapping[str, np.ndarray], keys: Iterable[str]) -> int:
+    """Scalar count of a key subset (e.g. the final layer)."""
+    return int(sum(state[k].size for k in keys))
+
+
+@dataclass
+class CommunicationTracker:
+    """Up/down parameter counters, bucketed by phase label."""
+
+    uploads: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    downloads: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record_upload(self, n_params: int, phase: str = "training") -> None:
+        """Client → server transfer of ``n_params`` scalars."""
+        if n_params < 0:
+            raise ValueError(f"n_params must be >= 0, got {n_params}")
+        self.uploads[phase] += int(n_params)
+
+    def record_download(self, n_params: int, phase: str = "training") -> None:
+        """Server → client transfer of ``n_params`` scalars."""
+        if n_params < 0:
+            raise ValueError(f"n_params must be >= 0, got {n_params}")
+        self.downloads[phase] += int(n_params)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_uploaded(self) -> int:
+        return sum(self.uploads.values())
+
+    @property
+    def total_downloaded(self) -> int:
+        return sum(self.downloads.values())
+
+    @property
+    def total_params(self) -> int:
+        return self.total_uploaded + self.total_downloaded
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_params * BYTES_PER_PARAM
+
+    def uploaded_in(self, phase: str) -> int:
+        return self.uploads.get(phase, 0)
+
+    def downloaded_in(self, phase: str) -> int:
+        return self.downloads.get(phase, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Immutable totals for history records."""
+        return {
+            "uploaded": self.total_uploaded,
+            "downloaded": self.total_downloaded,
+            "bytes": self.total_bytes,
+        }
+
+    def by_phase(self) -> dict[str, dict[str, int]]:
+        """Per-phase breakdown (clustering vs training traffic)."""
+        phases = sorted(set(self.uploads) | set(self.downloads))
+        return {
+            phase: {
+                "uploaded": self.uploads.get(phase, 0),
+                "downloaded": self.downloads.get(phase, 0),
+            }
+            for phase in phases
+        }

@@ -1,0 +1,82 @@
+"""Evaluation protocol.
+
+Table I reports the **mean local test accuracy**: every client evaluates
+the model that serves it (global model, or its cluster's model) on its
+own held-out split drawn from its own distribution; the per-client
+accuracies are averaged.  This module implements that protocol plus the
+underlying single-dataset evaluation primitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.module import Module
+
+__all__ = ["EvalResult", "evaluate_model", "mean_local_accuracy"]
+
+
+@dataclass
+class EvalResult:
+    """Accuracy/loss over one dataset."""
+
+    accuracy: float
+    loss: float
+    n_samples: int
+    n_correct: int
+
+
+def evaluate_model(
+    model: Module, dataset: ArrayDataset, batch_size: int = 512
+) -> EvalResult:
+    """Deterministic full-dataset evaluation (no shuffling, eval mode)."""
+    if len(dataset) == 0:
+        raise ValueError("cannot evaluate on an empty dataset")
+    was_training = model.training
+    model.eval()
+    loss_fn = CrossEntropyLoss()
+    n_correct = 0
+    loss_sum = 0.0
+    n = len(dataset)
+    for start in range(0, n, batch_size):
+        images = dataset.images[start : start + batch_size]
+        labels = dataset.labels[start : start + batch_size]
+        logits = model.forward(images)
+        loss_sum += loss_fn.forward(logits, labels) * len(labels)
+        n_correct += int((logits.argmax(axis=1) == labels).sum())
+    if was_training:
+        model.train()
+    return EvalResult(
+        accuracy=n_correct / n,
+        loss=loss_sum / n,
+        n_samples=n,
+        n_correct=n_correct,
+    )
+
+
+def mean_local_accuracy(
+    model: Module,
+    client_states: Sequence[Mapping[str, np.ndarray]],
+    client_testsets: Sequence[ArrayDataset],
+    batch_size: int = 512,
+) -> tuple[float, np.ndarray]:
+    """Mean (and per-client vector) of local test accuracies.
+
+    ``client_states[i]`` is the state dict serving client ``i`` —
+    algorithms pass the global state for every client, or each client's
+    cluster model.  ``model`` is a scratch instance reused across clients.
+    """
+    if len(client_states) != len(client_testsets):
+        raise ValueError(
+            f"{len(client_states)} states but {len(client_testsets)} test sets"
+        )
+    accs = np.zeros(len(client_states))
+    for i, (state, testset) in enumerate(zip(client_states, client_testsets)):
+        model.load_state_dict(state)
+        accs[i] = evaluate_model(model, testset, batch_size=batch_size).accuracy
+    return float(accs.mean()), accs

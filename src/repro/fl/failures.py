@@ -1,0 +1,84 @@
+"""Failure injection: clients that go dark mid-round.
+
+Real federations lose clients to network drops and stragglers.  The
+:class:`FaultyExecutor` wraps any client executor and makes a seeded
+subset of clients fail each round, exercising the algorithms' tolerance
+paths — most importantly FedClust's straggler handling in the one-shot
+clustering round (clients that miss it are onboarded later through the
+newcomer mechanism, see
+:meth:`repro.core.fedclust.FedClust.clustering_round`).
+
+Semantics: a failed client consumed the broadcast (download is already
+spent) but returns no update.  ``run`` therefore returns updates only for
+the surviving clients.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.fl.client import ClientUpdate
+from repro.fl.parallel import SerialClientExecutor, UpdateTask
+from repro.utils.rng import rng_for
+from repro.utils.validation import check_fraction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fl.simulation import FederatedEnv
+
+__all__ = ["FaultyExecutor"]
+
+_FAILURE_TAG = 13
+
+
+class FaultyExecutor:
+    """Drop each client's update with probability ``failure_rate``.
+
+    Failures are derived statelessly from ``(seed, round, client)`` so a
+    run with failures is as reproducible as one without.  At least one
+    client always survives a round (a fully-dark round would deadlock
+    aggregation, which no real server would allow either — it would
+    re-broadcast instead).
+    """
+
+    def __init__(
+        self,
+        failure_rate: float,
+        inner=None,
+    ) -> None:
+        check_fraction("failure_rate", failure_rate, inclusive_low=True)
+        if failure_rate >= 1.0:
+            raise ValueError("failure_rate must be < 1 (someone must survive)")
+        self.failure_rate = failure_rate
+        self.inner = inner if inner is not None else SerialClientExecutor()
+        #: (round, dropped client ids) log, for tests and diagnostics.
+        self.drop_log: list[tuple[int, list[int]]] = []
+
+    def survivors(
+        self, env: "FederatedEnv", tasks: Sequence[UpdateTask], round_index: int
+    ) -> list[UpdateTask]:
+        """The deterministic surviving subset for this round."""
+        alive = []
+        for task in tasks:
+            u = rng_for(env.seed, _FAILURE_TAG, round_index, task.client_id).random()
+            if u >= self.failure_rate:
+                alive.append(task)
+        if not alive and tasks:
+            # Guarantee progress: keep the deterministically-first client.
+            alive = [min(tasks, key=lambda t: t.client_id)]
+        return alive
+
+    def run(
+        self, env: "FederatedEnv", tasks: Sequence[UpdateTask], round_index: int
+    ) -> list[ClientUpdate]:
+        alive = self.survivors(env, tasks, round_index)
+        dropped = sorted(
+            set(t.client_id for t in tasks) - set(t.client_id for t in alive)
+        )
+        if dropped:
+            self.drop_log.append((round_index, dropped))
+        return self.inner.run(env, alive, round_index)
+
+    def close(self) -> None:
+        self.inner.close()

@@ -1,0 +1,98 @@
+"""Run histories: per-round records and end-of-run summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RoundRecord", "RunHistory"]
+
+
+@dataclass
+class RoundRecord:
+    """Metrics for one communication round."""
+
+    round_index: int
+    mean_train_loss: float
+    mean_local_accuracy: float
+    n_participants: int
+    n_clusters: int
+    uploaded_params: int
+    downloaded_params: int
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class RunHistory:
+    """Ordered round records plus run-level metadata."""
+
+    algorithm: str
+    dataset: str
+    seed: int
+    records: list[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        if self.records and record.round_index <= self.records[-1].round_index:
+            raise ValueError(
+                f"round {record.round_index} not after {self.records[-1].round_index}"
+            )
+        self.records.append(record)
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.records)
+
+    @property
+    def final_accuracy(self) -> float:
+        """Last round's mean local accuracy (NaN for an empty history)."""
+        return self.records[-1].mean_local_accuracy if self.records else float("nan")
+
+    @property
+    def best_accuracy(self) -> float:
+        if not self.records:
+            return float("nan")
+        return max(r.mean_local_accuracy for r in self.records)
+
+    def accuracy_curve(self) -> np.ndarray:
+        """Mean local accuracy per round, shape ``(n_rounds,)``."""
+        return np.array([r.mean_local_accuracy for r in self.records])
+
+    def loss_curve(self) -> np.ndarray:
+        """Mean train loss per round."""
+        return np.array([r.mean_train_loss for r in self.records])
+
+    def comm_curve(self) -> np.ndarray:
+        """Cumulative transferred parameters (up + down) per round."""
+        return np.array(
+            [r.uploaded_params + r.downloaded_params for r in self.records]
+        )
+
+    def rounds_to_accuracy(self, target: float) -> int | None:
+        """First 1-based round reaching ``target`` accuracy, or ``None``."""
+        for record in self.records:
+            if record.mean_local_accuracy >= target:
+                return record.round_index
+        return None
+
+    def comm_to_accuracy(self, target: float) -> int | None:
+        """Transferred params (up+down) when ``target`` was first reached."""
+        round_index = self.rounds_to_accuracy(target)
+        if round_index is None:
+            return None
+        reached = next(r for r in self.records if r.round_index == round_index)
+        return reached.uploaded_params + reached.downloaded_params
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (used by the experiment drivers)."""
+        return {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "seed": self.seed,
+            "n_rounds": self.n_rounds,
+            "final_accuracy": self.final_accuracy,
+            "best_accuracy": self.best_accuracy,
+            "accuracy_curve": self.accuracy_curve().tolist(),
+            "loss_curve": self.loss_curve().tolist(),
+            "comm_curve": self.comm_curve().tolist(),
+        }

@@ -1,0 +1,34 @@
+"""Client participation sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_fraction, check_positive
+
+__all__ = ["full_participation", "uniform_sample"]
+
+
+def full_participation(n_clients: int) -> np.ndarray:
+    """Every client participates (the default at paper scale)."""
+    check_positive("n_clients", n_clients)
+    return np.arange(n_clients)
+
+
+def uniform_sample(
+    n_clients: int,
+    fraction: float,
+    rng: np.random.Generator,
+    min_clients: int = 1,
+) -> np.ndarray:
+    """Sample ``max(min_clients, round(fraction * n))`` clients uniformly.
+
+    FedAvg's client fraction ``C``; returned ids are sorted for
+    deterministic downstream iteration.
+    """
+    check_positive("n_clients", n_clients)
+    check_fraction("fraction", fraction)
+    check_positive("min_clients", min_clients)
+    n_pick = max(min_clients, int(round(fraction * n_clients)))
+    n_pick = min(n_pick, n_clients)
+    return np.sort(rng.choice(n_clients, size=n_pick, replace=False))

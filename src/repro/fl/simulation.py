@@ -1,0 +1,163 @@
+"""Federated environment: the shared machinery every algorithm drives.
+
+A :class:`FederatedEnv` binds together a federation (the data side), a
+model architecture, a training configuration, a communication tracker,
+and a client executor.  Algorithms (in :mod:`repro.algorithms` and
+:mod:`repro.core`) are strategy objects that call into the environment:
+
+* :meth:`FederatedEnv.init_state` — the initial global model,
+* :meth:`FederatedEnv.run_updates` — dispatch local training for a set of
+  (client, incoming-state) pairs through the configured executor,
+* :meth:`FederatedEnv.mean_local_accuracy` — the Table-I metric.
+
+Everything stochastic derives from the environment seed via stateless
+:func:`repro.utils.rng.rng_for` keys, so any algorithm run on an
+environment is reproducible regardless of executor kind.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.data.federation import Federation
+from repro.fl.client import ClientUpdate
+from repro.fl.communication import CommunicationTracker
+from repro.fl.config import TrainConfig
+from repro.fl.evaluation import evaluate_model, mean_local_accuracy
+from repro.fl.parallel import SerialClientExecutor, UpdateTask
+from repro.nn.models import build_model, final_linear_name
+from repro.nn.module import Sequential
+from repro.utils.rng import rng_for
+
+__all__ = ["FederatedEnv"]
+
+_MODEL_INIT_TAG = 0  # rng_for namespace tags; 1 = client updates (parallel.py)
+_SERVER_TAG = 2
+
+
+class FederatedEnv:
+    """Execution context for federated algorithms.
+
+    Parameters
+    ----------
+    federation:
+        Per-client datasets (see :func:`repro.data.build_federation`).
+    model_name, model_kwargs:
+        Architecture from :func:`repro.nn.build_model`; LeNet-5 is the
+        paper's Table-I model.
+    train_cfg:
+        Local-training hyper-parameters.
+    seed:
+        Master seed; model init, client streams and server randomness all
+        derive from it independently.
+    executor:
+        Client executor (serial default; thread/process for multi-core).
+    tracker:
+        Communication tracker (new one by default).
+    """
+
+    def __init__(
+        self,
+        federation: Federation,
+        model_name: str = "lenet5",
+        model_kwargs: dict | None = None,
+        train_cfg: TrainConfig | None = None,
+        seed: int = 0,
+        executor=None,
+        tracker: CommunicationTracker | None = None,
+    ) -> None:
+        self.federation = federation
+        self.model_name = model_name
+        self.model_kwargs = dict(model_kwargs or {})
+        self.train_cfg = train_cfg or TrainConfig()
+        self.seed = int(seed)
+        self.executor = executor or SerialClientExecutor()
+        self.tracker = tracker or CommunicationTracker()
+        self.scratch_model = self.make_model()
+        self._init_state = self.scratch_model.state_dict(copy=True)
+        self.n_params = self.scratch_model.num_parameters()
+        self.final_layer = final_linear_name(self.scratch_model)
+        self.final_layer_keys = [
+            name
+            for name, _ in self.scratch_model.named_parameters()
+            if name.startswith(self.final_layer + ".")
+        ]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def make_model(self) -> Sequential:
+        """Fresh model with the environment's deterministic init weights."""
+        return build_model(
+            self.model_name,
+            self.federation.input_shape,
+            self.federation.n_classes,
+            rng_for(self.seed, _MODEL_INIT_TAG),
+            **self.model_kwargs,
+        )
+
+    def init_state(self) -> dict[str, np.ndarray]:
+        """Copy of the initial global model state."""
+        return {k: v.copy() for k, v in self._init_state.items()}
+
+    def server_rng(self, round_index: int) -> np.random.Generator:
+        """Server-side randomness for a round (client sampling etc.)."""
+        return rng_for(self.seed, _SERVER_TAG, round_index)
+
+    # ------------------------------------------------------------------
+    # Client work
+    # ------------------------------------------------------------------
+    def run_updates(
+        self, tasks: Sequence[UpdateTask], round_index: int
+    ) -> list[ClientUpdate]:
+        """Execute local training for ``tasks`` via the executor."""
+        if not tasks:
+            return []
+        ids = [t.client_id for t in tasks]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate client ids in round {round_index}: {ids}")
+        bad = [i for i in ids if not 0 <= i < self.federation.n_clients]
+        if bad:
+            raise ValueError(f"client ids out of range: {bad}")
+        return self.executor.run(self, tasks, round_index)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate_state(
+        self, state: Mapping[str, np.ndarray], client_id: int
+    ) -> float:
+        """Accuracy of ``state`` on one client's local test split."""
+        self.scratch_model.load_state_dict(dict(state))
+        return evaluate_model(
+            self.scratch_model,
+            self.federation.clients[client_id].test,
+            batch_size=self.train_cfg.eval_batch_size,
+        ).accuracy
+
+    def mean_local_accuracy(
+        self, states_per_client: Sequence[Mapping[str, np.ndarray]]
+    ) -> tuple[float, np.ndarray]:
+        """Table-I metric: mean over clients of local-test accuracy."""
+        testsets = [c.test for c in self.federation.clients]
+        return mean_local_accuracy(
+            self.scratch_model,
+            states_per_client,
+            testsets,
+            batch_size=self.train_cfg.eval_batch_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release executor resources (thread/process pools)."""
+        self.executor.close()
+
+    def __enter__(self) -> "FederatedEnv":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,94 @@
+"""From-scratch NumPy deep-learning substrate.
+
+Implements everything the FedClust reproduction needs from a deep-learning
+framework: a module tree with manual backpropagation, im2col convolutions,
+pooling, batch norm, dropout, losses, SGD-family optimisers (including the
+FedProx proximal variant), weight initialisers, a model zoo (LeNet-5, MLP,
+VGG-style nets), and state-dict arithmetic for federated aggregation.
+"""
+
+from repro.nn import functional, init, state
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GroupNorm,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.loss import CrossEntropyLoss, Loss, MSELoss
+from repro.nn.models import (
+    Residual,
+    available_models,
+    build_model,
+    cnn_small,
+    final_linear_name,
+    lenet5,
+    minivgg,
+    mlp,
+    parameterized_layers,
+    resnet_tiny,
+    vgg16_style,
+)
+from repro.nn.module import Module, Sequential
+from repro.nn.optim import SGD, Adam, Optimizer, ProximalSGD
+from repro.nn.parameter import Parameter
+from repro.nn.schedulers import (
+    ConstantLR,
+    CosineAnnealingLR,
+    ExponentialLR,
+    Scheduler,
+    StepLR,
+)
+
+__all__ = [
+    "functional",
+    "init",
+    "state",
+    "AvgPool2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "LeakyReLU",
+    "Linear",
+    "MaxPool2d",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "CrossEntropyLoss",
+    "Loss",
+    "MSELoss",
+    "available_models",
+    "build_model",
+    "cnn_small",
+    "final_linear_name",
+    "lenet5",
+    "minivgg",
+    "mlp",
+    "parameterized_layers",
+    "vgg16_style",
+    "Module",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "ProximalSGD",
+    "Parameter",
+    "GroupNorm",
+    "Residual",
+    "resnet_tiny",
+    "ConstantLR",
+    "CosineAnnealingLR",
+    "ExponentialLR",
+    "Scheduler",
+    "StepLR",
+]

@@ -1,0 +1,130 @@
+"""2-D convolution via im2col lowering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init as init_fns
+from repro.nn.functional import col2im, conv_output_size, im2col
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Module):
+    """Cross-correlation layer over ``(N, C, H, W)`` batches.
+
+    The forward pass lowers the input to a column matrix (one row per
+    output pixel) and performs a single matmul with the flattened filter
+    bank — the standard im2col strategy that keeps the hot path inside
+    BLAS.  The backward pass is the exact adjoint: a matmul for the filter
+    gradient and a :func:`repro.nn.functional.col2im` scatter-add for the
+    input gradient.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Filter bank dimensions.
+    kernel_size:
+        Square kernel extent.
+    rng:
+        Generator for weight init.
+    stride, padding:
+        Standard convolution hyper-parameters (symmetric padding).
+    bias:
+        Add a per-channel bias (default ``True``).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        weight_init: str = "kaiming_uniform",
+        dtype: np.dtype | type = np.float32,
+    ) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size, stride) <= 0:
+            raise ValueError(
+                "in_channels, out_channels, kernel_size, stride must be positive"
+            )
+        if padding < 0:
+            raise ValueError(f"padding must be non-negative, got {padding}")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        if weight_init == "kaiming_uniform":
+            weight = init_fns.kaiming_uniform(rng, shape, dtype=dtype)
+        elif weight_init == "xavier_uniform":
+            weight = init_fns.xavier_uniform(rng, shape, dtype=dtype)
+        elif weight_init == "lecun_normal":
+            weight = init_fns.lecun_normal(rng, shape, dtype=dtype)
+        else:
+            raise ValueError(f"unknown weight_init {weight_init!r}")
+        self.weight = Parameter(weight)
+        self.has_bias = bias
+        if bias:
+            fan_in = in_channels * kernel_size * kernel_size
+            self.bias = Parameter(
+                init_fns.uniform_bias(rng, fan_in, (out_channels,), dtype=dtype)
+            )
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def output_shape(self, h: int, w: int) -> tuple[int, int]:
+        """Spatial output extent for an ``h × w`` input."""
+        return (
+            conv_output_size(h, self.kernel_size, self.stride, self.padding),
+            conv_output_size(w, self.kernel_size, self.stride, self.padding),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expected (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n = x.shape[0]
+        cols, (out_h, out_w) = im2col(
+            x, self.kernel_size, self.kernel_size, self.stride, self.padding
+        )
+        self._cols = cols
+        self._x_shape = x.shape
+        flat_w = self.weight.data.reshape(self.out_channels, -1)
+        out = cols @ flat_w.T  # (N*OH*OW, out_channels)
+        if self.has_bias:
+            out += self.bias.data
+        return out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, _, out_h, out_w = grad_output.shape
+        # (N, F, OH, OW) -> (N*OH*OW, F), matching the forward column layout.
+        grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        flat_w = self.weight.data.reshape(self.out_channels, -1)
+        self.weight.accumulate_grad(
+            (grad_flat.T @ self._cols).reshape(self.weight.data.shape)
+        )
+        if self.has_bias:
+            self.bias.accumulate_grad(grad_flat.sum(axis=0))
+        dcols = grad_flat @ flat_w
+        dx = col2im(
+            dcols,
+            self._x_shape,
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+        self._cols = None
+        self._x_shape = None
+        return dx

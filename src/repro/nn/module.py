@@ -1,0 +1,219 @@
+"""Module system: the base class every layer and model derives from.
+
+This is a deliberately small re-implementation of the familiar
+module-tree idiom: attribute assignment registers child modules and
+parameters, ``forward``/``backward`` implement manual backpropagation
+(each layer caches what it needs during ``forward``), and
+``state_dict``/``load_state_dict`` expose named arrays — the currency of
+federated aggregation in :mod:`repro.fl`.
+
+Design notes
+------------
+* **Manual backprop, not autograd.**  Every layer implements an explicit
+  ``backward(grad_output) -> grad_input`` that also accumulates parameter
+  gradients.  For the fixed feed-forward architectures this library needs
+  (LeNet-5, MLPs, VGG-style stacks), this is simpler, faster, and easier
+  to verify with numerical gradient checks than a tape-based autograd.
+* **Caching contract.**  ``backward`` must be called right after the
+  ``forward`` whose intermediate values it consumes.  The training loop in
+  :mod:`repro.fl.client` honours this; the tests enforce it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+__all__ = ["Module", "Sequential"]
+
+
+class Module:
+    """Base class for layers and models."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Registration via attribute assignment
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            if not value.name:
+                value.name = name
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Forward / backward
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output for input batch ``x``."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Propagate ``grad_output`` and accumulate parameter gradients.
+
+        Returns the gradient with respect to this module's input.
+        """
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # ------------------------------------------------------------------
+    # Train / eval mode
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        """Switch this module (and children) to training mode."""
+        object.__setattr__(self, "training", True)
+        for child in self._modules.values():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module (and children) to inference mode."""
+        object.__setattr__(self, "training", False)
+        for child in self._modules.values():
+            child.eval()
+        return self
+
+    # ------------------------------------------------------------------
+    # Parameter access
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        """All parameters in this subtree, depth-first, registration order."""
+        return [p for _, p in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs, depth-first."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` pairs including self ('' name)."""
+        yield (prefix.rstrip("."), self)
+        for child_name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{child_name}.")
+
+    def zero_grad(self) -> None:
+        """Reset every parameter gradient in the subtree."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count (the unit of communication cost)."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # State dicts — the currency of federated aggregation
+    # ------------------------------------------------------------------
+    def state_dict(self, copy: bool = True) -> "OrderedDict[str, np.ndarray]":
+        """Map fully-qualified parameter names to value arrays.
+
+        ``copy=True`` (default) snapshots the values, so the caller can
+        mutate the model without aliasing the returned dict — essential for
+        federated round bookkeeping (global model vs. local updates).
+        """
+        out: OrderedDict[str, np.ndarray] = OrderedDict()
+        for name, param in self.named_parameters():
+            out[name] = param.data.copy() if copy else param.data
+        return out
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load values produced by :meth:`state_dict` (strict key match)."""
+        own = dict(self.named_parameters())
+        missing = own.keys() - state.keys()
+        unexpected = state.keys() - own.keys()
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            param.copy_(state[name])
+
+    def finalize_names(self) -> "Module":
+        """Stamp fully-qualified names onto every parameter.
+
+        Called by model factories after the tree is assembled so that
+        diagnostics and partial-weight selection (``repro.core.weights``)
+        see names like ``"classifier.weight"`` rather than bare ``"weight"``.
+        """
+        for name, param in self.named_parameters():
+            param.name = name
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        child_reprs = ", ".join(
+            f"{name}={type(m).__name__}" for name, m in self._modules.items()
+        )
+        return f"{type(self).__name__}({child_reprs})"
+
+
+class Sequential(Module):
+    """Feed-forward chain of modules.
+
+    Children may be given explicitly as ``(name, module)`` pairs, or
+    anonymously (named by index).  ``backward`` replays the chain in
+    reverse, matching the manual-backprop caching contract.
+    """
+
+    def __init__(self, *layers: Module | tuple[str, Module]) -> None:
+        super().__init__()
+        self._order: list[str] = []
+        for index, item in enumerate(layers):
+            if isinstance(item, tuple):
+                name, module = item
+            else:
+                name, module = str(index), item
+            if not isinstance(module, Module):
+                raise TypeError(f"layer {name!r} is not a Module: {type(module)}")
+            if name in self._modules:
+                raise ValueError(f"duplicate layer name {name!r}")
+            self._modules[name] = module
+            object.__setattr__(self, f"_layer_{name}", module)
+            self._order.append(name)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, key: int | str) -> Module:
+        if isinstance(key, int):
+            key = self._order[key]
+        return self._modules[key]
+
+    def layers(self) -> list[Module]:
+        """The child modules in forward order."""
+        return [self._modules[name] for name in self._order]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for name in self._order:
+            x = self._modules[name].forward(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for name in reversed(self._order):
+            grad_output = self._modules[name].backward(grad_output)
+        return grad_output
+
+    def train(self) -> "Sequential":
+        object.__setattr__(self, "training", True)
+        for name in self._order:
+            self._modules[name].train()
+        return self
+
+    def eval(self) -> "Sequential":
+        object.__setattr__(self, "training", False)
+        for name in self._order:
+            self._modules[name].eval()
+        return self

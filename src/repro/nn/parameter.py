@@ -1,0 +1,76 @@
+"""Trainable parameter container.
+
+A :class:`Parameter` pairs a value array with a same-shaped gradient
+accumulator.  Layers create them at construction time; optimisers update
+``data`` in place; ``backward`` passes accumulate into ``grad``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient.
+
+    Parameters
+    ----------
+    data:
+        Initial value.  Stored as-is (no copy) so initialisers can build
+        the array with the desired dtype and the layer keeps a live view.
+    name:
+        Optional human-readable label; the owning module overwrites it with
+        the fully-qualified name (e.g. ``"features.0.weight"``) when the
+        module tree is assembled.
+    """
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        self.data = np.asarray(data)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def zero_grad(self) -> None:
+        """Reset the gradient accumulator in place (no reallocation)."""
+        self.grad[...] = 0
+
+    def accumulate_grad(self, delta: np.ndarray) -> None:
+        """Add ``delta`` into the gradient accumulator.
+
+        Raises if shapes mismatch — a mismatch always indicates a backward
+        bug, and silent broadcasting would corrupt training.
+        """
+        if delta.shape != self.grad.shape:
+            raise ValueError(
+                f"gradient shape {delta.shape} does not match parameter "
+                f"{self.name or '<unnamed>'} shape {self.grad.shape}"
+            )
+        self.grad += delta
+
+    def copy_(self, values: np.ndarray) -> None:
+        """In-place overwrite of ``data`` (used when loading state dicts)."""
+        values = np.asarray(values, dtype=self.data.dtype)
+        if values.shape != self.data.shape:
+            raise ValueError(
+                f"cannot load values of shape {values.shape} into parameter "
+                f"{self.name or '<unnamed>'} of shape {self.data.shape}"
+            )
+        self.data[...] = values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.data.shape}, dtype={self.data.dtype})"

@@ -1,0 +1,92 @@
+"""Learning-rate schedules.
+
+FL papers commonly decay the *server-side* learning rate across rounds;
+these schedulers mutate an optimiser's ``lr`` in place and are stepped
+once per round (or per epoch for centralised training).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import Optimizer
+from repro.utils.validation import check_fraction, check_positive
+
+__all__ = ["Scheduler", "ConstantLR", "StepLR", "CosineAnnealingLR", "ExponentialLR"]
+
+
+class Scheduler:
+    """Base class: track step count, expose the current learning rate."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.step_count = 0
+
+    def lr_at(self, step: int) -> float:
+        """Learning rate for 0-based ``step`` (pure function of step)."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step; write and return the new learning rate."""
+        self.step_count += 1
+        new_lr = self.lr_at(self.step_count)
+        if new_lr <= 0:
+            raise ValueError(f"scheduler produced non-positive lr {new_lr}")
+        self.optimizer.lr = new_lr
+        return new_lr
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+
+class ConstantLR(Scheduler):
+    """No decay (the default behaviour, made explicit)."""
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr
+
+
+class StepLR(Scheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        check_positive("step_size", step_size)
+        check_fraction("gamma", gamma)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.step_size)
+
+
+class ExponentialLR(Scheduler):
+    """Multiply the rate by ``gamma`` every step."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.99) -> None:
+        super().__init__(optimizer)
+        check_fraction("gamma", gamma)
+        self.gamma = gamma
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr * self.gamma**step
+
+
+class CosineAnnealingLR(Scheduler):
+    """Cosine decay from the base rate to ``eta_min`` over ``t_max`` steps."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 1e-5) -> None:
+        super().__init__(optimizer)
+        check_positive("t_max", t_max)
+        if eta_min <= 0:
+            raise ValueError(f"eta_min must be positive, got {eta_min}")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def lr_at(self, step: int) -> float:
+        t = min(step, self.t_max)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1 + math.cos(math.pi * t / self.t_max)
+        )

@@ -1,0 +1,76 @@
+"""Minimal run logger.
+
+The simulator and experiment drivers emit progress through this module so
+that library users can silence, redirect, or capture output without the
+library ever printing unconditionally.  It is a thin veneer over the stdlib
+``logging`` package with a library-wide namespace and an opt-in console
+handler (libraries must not install handlers on import).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from typing import Callable
+
+__all__ = ["get_logger", "enable_console_logging", "RoundLogger"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return the library logger, optionally namespaced by ``name``."""
+    if name is None:
+        return logging.getLogger(_ROOT_NAME)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stderr handler to the library logger (idempotent).
+
+    Examples and benchmark harnesses call this; the library itself never
+    does, so embedding applications stay in control of log routing.
+    """
+    logger = get_logger()
+    logger.setLevel(level)
+    has_console = any(
+        isinstance(h, logging.StreamHandler) and getattr(h, "_repro_console", False)
+        for h in logger.handlers
+    )
+    if not has_console:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("[%(asctime)s %(name)s] %(message)s", "%H:%M:%S")
+        )
+        handler._repro_console = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+    return logger
+
+
+class RoundLogger:
+    """Throttled per-round progress reporter for long simulations.
+
+    Emits at most one log line every ``min_interval`` seconds (plus the
+    final round), so a 500-round simulation does not flood the console
+    while short runs still show every round.
+    """
+
+    def __init__(
+        self,
+        total_rounds: int,
+        min_interval: float = 2.0,
+        emit: Callable[[str], None] | None = None,
+    ) -> None:
+        self.total_rounds = total_rounds
+        self.min_interval = min_interval
+        self._emit = emit if emit is not None else get_logger("fl").info
+        self._last_emit = 0.0
+
+    def log(self, round_index: int, message: str) -> None:
+        """Log ``message`` for 1-based ``round_index`` if not throttled."""
+        now = time.monotonic()
+        is_last = round_index >= self.total_rounds
+        if is_last or now - self._last_emit >= self.min_interval:
+            self._emit(f"round {round_index}/{self.total_rounds} {message}")
+            self._last_emit = now

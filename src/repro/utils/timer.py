@@ -1,0 +1,100 @@
+"""Wall-clock measurement helpers.
+
+Following the optimisation workflow in the HPC guides ("no optimization
+without measuring"), the simulator and benches time their phases through
+these helpers instead of sprinkling ``time.perf_counter()`` pairs around.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Timer", "StageTimer", "profiled"]
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(100))
+    >>> t.total >= 0.0
+    True
+    """
+
+    total: float = 0.0
+    calls: int = 0
+    _started: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._started is not None, "Timer.__exit__ without __enter__"
+        self.total += time.perf_counter() - self._started
+        self.calls += 1
+        self._started = None
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per timed call (0.0 before any call completes)."""
+        return self.total / self.calls if self.calls else 0.0
+
+
+@dataclass
+class StageTimer:
+    """Named collection of :class:`Timer` objects for pipeline stages.
+
+    The FL simulator uses one of these with stages like ``local_train``,
+    ``aggregate``, ``evaluate`` so benches can report where time goes.
+    """
+
+    stages: dict[str, Timer] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[Timer]:
+        timer = self.stages.setdefault(name, Timer())
+        with timer:
+            yield timer
+
+    def summary(self) -> dict[str, float]:
+        """Total seconds per stage, insertion-ordered."""
+        return {name: t.total for name, t in self.stages.items()}
+
+    def report(self) -> str:
+        """Human-readable one-line-per-stage breakdown."""
+        lines = []
+        for name, t in self.stages.items():
+            lines.append(f"{name:<16s} {t.total:8.3f}s over {t.calls} calls")
+        return "\n".join(lines)
+
+
+@contextmanager
+def profiled(sort: str = "cumulative", limit: int = 20) -> Iterator[io.StringIO]:
+    """Profile the enclosed block with :mod:`cProfile`.
+
+    Yields a :class:`io.StringIO` that holds the stats report after the
+    block exits — handy for ad-hoc bottleneck hunts during development:
+
+    >>> with profiled() as report:
+    ...     _ = [i * i for i in range(1000)]
+    >>> "function calls" in report.getvalue()
+    True
+    """
+    profiler = cProfile.Profile()
+    buffer = io.StringIO()
+    profiler.enable()
+    try:
+        yield buffer
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats(sort).print_stats(limit)

@@ -1,0 +1,102 @@
+"""CLI plumbing and the centralised training utility."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.synthetic import make_dataset
+from repro.nn import SGD, StepLR, mlp
+from repro.nn.training import FitResult, accuracy, fit
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("table1", "fig1", "fig2", "sweep", "comm", "run"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "fedclust"
+        assert args.partition == "dirichlet"
+        assert args.executor == "serial"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scale", "galactic"])
+
+
+@pytest.mark.slow
+class TestCliExecution:
+    def test_run_command_writes_json(self, tmp_path, monkeypatch, capsys):
+        out = tmp_path / "result.json"
+        code = main(
+            [
+                "run",
+                "--algorithm", "fedavg",
+                "--dataset", "fmnist",
+                "--clients", "4",
+                "--rounds", "2",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["experiment"] == "run"
+        assert 0.0 <= payload["final_accuracy"] <= 1.0
+        printed = capsys.readouterr().out
+        assert "final accuracy" in printed
+
+    def test_fig2_command(self, capsys, monkeypatch):
+        # Micro-ify via env scale: quick is smallest preset; accept runtime.
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        code = main(["fig2", "--dataset", "fmnist"])
+        assert code == 0
+        assert "⑥" in capsys.readouterr().out
+
+
+class TestFit:
+    @pytest.fixture
+    def data(self):
+        ds = make_dataset("fmnist", 160, 5, noise_std=0.25)
+        return ds.subset(np.arange(120)), ds.subset(np.arange(120, 160))
+
+    def test_loss_decreases_and_val_tracked(self, data, rng):
+        train, val = data
+        model = mlp((1, 28, 28), 10, rng, hidden=(16,))
+        opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        result = fit(model, train, opt, epochs=5, batch_size=32, val=val)
+        assert result.n_epochs == 5
+        assert result.train_loss[-1] < result.train_loss[0]
+        assert len(result.val_accuracy) == 5
+        assert result.final_val_accuracy > 0.3
+
+    def test_scheduler_steps_per_epoch(self, data, rng):
+        train, _ = data
+        model = mlp((1, 28, 28), 10, rng, hidden=(8,))
+        opt = SGD(model.parameters(), lr=1.0)
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        fit(model, train, opt, epochs=3, scheduler=sched)
+        assert opt.lr == pytest.approx(0.125)
+
+    def test_accuracy_helper(self, data, rng):
+        train, _ = data
+        model = mlp((1, 28, 28), 10, rng, hidden=(8,))
+        value = accuracy(model, train)
+        assert 0.0 <= value <= 1.0
+
+    def test_validation(self, data, rng):
+        train, _ = data
+        model = mlp((1, 28, 28), 10, rng, hidden=(8,))
+        opt = SGD(model.parameters(), lr=0.1)
+        with pytest.raises(ValueError, match="epochs"):
+            fit(model, train, opt, epochs=0)

@@ -1,0 +1,67 @@
+"""Real-time newcomer assignment (FedClust step ⑥)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.newcomer import assign_newcomer
+
+
+@pytest.fixture
+def planted(rng):
+    members = np.vstack(
+        [rng.standard_normal((4, 5)) * 0.1, rng.standard_normal((4, 5)) * 0.1 + 10]
+    )
+    labels = np.repeat([0, 1], 4)
+    return members, labels
+
+
+class TestAssignment:
+    def test_assigns_to_nearest(self, planted, rng):
+        members, labels = planted
+        near_zero = rng.standard_normal(5) * 0.1
+        result = assign_newcomer(near_zero, members, labels)
+        assert result.cluster == 0
+        near_ten = near_zero + 10
+        assert assign_newcomer(near_ten, members, labels).cluster == 1
+
+    def test_distances_and_margin(self, planted, rng):
+        members, labels = planted
+        result = assign_newcomer(np.zeros(5), members, labels)
+        assert result.distances.shape == (2,)
+        assert result.margin == pytest.approx(
+            result.distances[1] - result.distances[0]
+        )
+        assert result.margin > 0
+
+    @pytest.mark.parametrize("method", ["average", "single", "complete", "ward"])
+    def test_all_linkage_reductions(self, planted, method):
+        members, labels = planted
+        result = assign_newcomer(np.zeros(5), members, labels, linkage_method=method)
+        assert result.cluster == 0
+
+    def test_single_uses_min_complete_uses_max(self):
+        members = np.array([[0.0], [4.0], [10.0], [10.0]])
+        labels = np.array([0, 0, 1, 1])
+        v = np.array([3.0])
+        # distances to cluster 0 members: [3, 1]; to cluster 1: [7, 7]
+        single = assign_newcomer(v, members, labels, linkage_method="single")
+        complete = assign_newcomer(v, members, labels, linkage_method="complete")
+        assert single.distances[0] == pytest.approx(1.0)
+        assert complete.distances[0] == pytest.approx(3.0)
+
+    def test_single_cluster_margin_inf(self, rng):
+        members = rng.standard_normal((3, 4))
+        result = assign_newcomer(np.zeros(4), members, np.zeros(3, dtype=int))
+        assert result.cluster == 0
+        assert result.margin == float("inf")
+
+    def test_validation(self, planted):
+        members, labels = planted
+        with pytest.raises(ValueError, match="dimension"):
+            assign_newcomer(np.zeros(3), members, labels)
+        with pytest.raises(ValueError, match="labels shape"):
+            assign_newcomer(np.zeros(5), members, labels[:3])
+        with pytest.raises(ValueError, match="linkage_method"):
+            assign_newcomer(np.zeros(5), members, labels, linkage_method="median")

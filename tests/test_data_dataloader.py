@@ -1,0 +1,62 @@
+"""DataLoader batching semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import ArrayDataset
+
+
+def _ds(n=10) -> ArrayDataset:
+    images = np.arange(n, dtype=np.float32).reshape(n, 1, 1, 1)
+    return ArrayDataset(images, np.arange(n) % 3, 3)
+
+
+class TestBatching:
+    def test_batch_shapes(self):
+        loader = DataLoader(_ds(10), 4, rng=0)
+        batches = list(loader)
+        assert [len(b[0]) for b in batches] == [4, 4, 2]
+
+    def test_len(self):
+        assert len(DataLoader(_ds(10), 4, rng=0)) == 3
+        assert len(DataLoader(_ds(10), 4, rng=0, drop_last=True)) == 2
+        assert len(DataLoader(_ds(8), 4, rng=0)) == 2
+
+    def test_drop_last(self):
+        loader = DataLoader(_ds(10), 4, rng=0, drop_last=True)
+        assert [len(b[0]) for b in loader] == [4, 4]
+
+    def test_epoch_covers_all_samples(self):
+        loader = DataLoader(_ds(10), 3, rng=0)
+        seen = np.sort(np.concatenate([xb.ravel() for xb, _ in loader]))
+        np.testing.assert_array_equal(seen, np.arange(10))
+
+    def test_shuffle_differs_across_epochs(self):
+        loader = DataLoader(_ds(20), 20, rng=0)
+        first = next(iter(loader))[0].ravel().copy()
+        second = next(iter(loader))[0].ravel().copy()
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_is_ordered(self):
+        loader = DataLoader(_ds(6), 2, rng=0, shuffle=False)
+        xs = np.concatenate([xb.ravel() for xb, _ in loader])
+        np.testing.assert_array_equal(xs, np.arange(6))
+
+    def test_deterministic_given_seed(self):
+        a = [xb.ravel() for xb, _ in DataLoader(_ds(12), 5, rng=9)]
+        b = [xb.ravel() for xb, _ in DataLoader(_ds(12), 5, rng=9)]
+        for xa, xb in zip(a, b):
+            np.testing.assert_array_equal(xa, xb)
+
+    def test_labels_track_images(self):
+        ds = _ds(9)
+        for xb, yb in DataLoader(ds, 4, rng=1):
+            for x, y in zip(xb.ravel(), yb):
+                assert int(x) % 3 == y
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            DataLoader(_ds(5), 0, rng=0)

@@ -1,0 +1,91 @@
+"""Federation assembly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.federation import build_federation
+
+
+class TestBuildFederation:
+    def test_dirichlet_basics(self):
+        fed = build_federation(
+            "fmnist", n_clients=5, n_samples=600, seed=0, partition="dirichlet", alpha=0.5
+        )
+        assert fed.n_clients == 5
+        assert fed.input_shape == (1, 28, 28)
+        assert fed.true_groups is None
+        assert fed.label_histograms.shape == (5, 10)
+        # Every client can train and evaluate.
+        assert all(c.n_train >= 1 and c.n_test >= 1 for c in fed.clients)
+
+    def test_label_cluster_sets_groups(self):
+        fed = build_federation(
+            "fmnist", n_clients=6, n_samples=600, seed=0, partition="label_cluster"
+        )
+        assert fed.true_groups is not None
+        np.testing.assert_array_equal(fed.true_groups, [0, 1, 0, 1, 0, 1])
+
+    def test_custom_groups(self):
+        fed = build_federation(
+            "fmnist",
+            n_clients=6,
+            n_samples=900,
+            seed=0,
+            partition="label_cluster",
+            groups=[[0, 1, 2], [3, 4], [5, 6, 7, 8, 9]],
+        )
+        assert len(np.unique(fed.true_groups)) == 3
+
+    def test_train_test_disjoint_distributions(self):
+        fed = build_federation(
+            "fmnist", n_clients=4, n_samples=800, seed=0, partition="label_cluster"
+        )
+        for client, group in zip(fed.clients, fed.true_groups):
+            allowed = set(range(5)) if group == 0 else set(range(5, 10))
+            assert set(client.train.labels) <= allowed
+            assert set(client.test.labels) <= allowed
+
+    def test_deterministic(self):
+        a = build_federation("svhn", n_clients=4, n_samples=400, seed=5)
+        b = build_federation("svhn", n_clients=4, n_samples=400, seed=5)
+        for ca, cb in zip(a.clients, b.clients):
+            np.testing.assert_array_equal(ca.train.images, cb.train.images)
+
+    def test_unknown_partition_raises(self):
+        with pytest.raises(ValueError, match="unknown partition"):
+            build_federation("fmnist", 4, 400, 0, partition="bogus")
+
+    def test_summary_mentions_groups(self):
+        fed = build_federation(
+            "fmnist", n_clients=4, n_samples=400, seed=0, partition="label_cluster"
+        )
+        assert "planted groups" in fed.summary()
+
+    def test_client_sizes(self):
+        fed = build_federation("fmnist", n_clients=4, n_samples=400, seed=0)
+        np.testing.assert_array_equal(
+            fed.client_sizes(), [c.n_train for c in fed.clients]
+        )
+
+
+class TestSubset:
+    def test_reindexes_clients(self):
+        fed = build_federation(
+            "fmnist", n_clients=6, n_samples=600, seed=0, partition="label_cluster"
+        )
+        sub = fed.subset([1, 3, 5])
+        assert sub.n_clients == 3
+        assert [c.client_id for c in sub.clients] == [0, 1, 2]
+        np.testing.assert_array_equal(sub.true_groups, fed.true_groups[[1, 3, 5]])
+        np.testing.assert_array_equal(
+            sub.clients[0].train.labels, fed.clients[1].train.labels
+        )
+
+    def test_validation(self):
+        fed = build_federation("fmnist", n_clients=4, n_samples=400, seed=0)
+        with pytest.raises(ValueError, match="duplicate"):
+            fed.subset([0, 0])
+        with pytest.raises(ValueError, match="out of range"):
+            fed.subset([9])

@@ -1,0 +1,133 @@
+"""Federated partitioners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.partition import (
+    check_partition,
+    dirichlet_partition,
+    iid_partition,
+    label_cluster_partition,
+    partition_report,
+    shard_partition,
+)
+
+
+@pytest.fixture
+def labels(rng) -> np.ndarray:
+    return rng.integers(0, 10, size=600)
+
+
+class TestIID:
+    def test_covers_everything(self, labels):
+        parts = iid_partition(labels, 7, 0)
+        check_partition(parts, len(labels), require_cover=True)
+
+    def test_balanced_sizes(self, labels):
+        parts = iid_partition(labels, 6, 0)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestDirichlet:
+    def test_disjoint(self, labels):
+        parts = dirichlet_partition(labels, 8, 0.1, 0)
+        check_partition(parts, len(labels))
+
+    def test_min_samples_respected(self, labels):
+        parts = dirichlet_partition(labels, 8, 0.1, 0, min_samples=5)
+        assert min(len(p) for p in parts) >= 5
+
+    def test_small_alpha_skews(self, labels):
+        """At alpha=0.05 most clients hold few classes; at alpha=100 all."""
+        skewed = dirichlet_partition(labels, 5, 0.05, 0)
+        uniform = dirichlet_partition(labels, 5, 100.0, 0)
+
+        def mean_classes(parts):
+            return np.mean(
+                [len(np.unique(labels[p])) for p in parts if len(p)]
+            )
+
+        assert mean_classes(skewed) < mean_classes(uniform)
+
+    def test_deterministic(self, labels):
+        a = dirichlet_partition(labels, 5, 0.1, 123)
+        b = dirichlet_partition(labels, 5, 0.1, 123)
+        for pa, pb in zip(a, b):
+            np.testing.assert_array_equal(pa, pb)
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError, match="cannot give"):
+            dirichlet_partition(np.zeros(3, dtype=int), 5, 0.1, 0)
+
+    def test_invalid_alpha_raises(self, labels):
+        with pytest.raises(ValueError, match="alpha"):
+            dirichlet_partition(labels, 5, 0.0, 0)
+
+
+class TestShard:
+    def test_disjoint_cover(self, labels):
+        parts = shard_partition(labels, 6, 2, 0)
+        check_partition(parts, len(labels), require_cover=True)
+
+    def test_limits_classes_per_client(self, labels):
+        parts = shard_partition(labels, 10, 2, 0)
+        # 2 shards drawn from a label-sorted sequence touch few classes.
+        for part in parts:
+            assert len(np.unique(labels[part])) <= 4
+
+    def test_too_many_shards_raises(self):
+        with pytest.raises(ValueError, match="shards"):
+            shard_partition(np.zeros(5, dtype=int), 10, 2, 0)
+
+
+class TestLabelCluster:
+    def test_planted_groups(self, labels):
+        parts, groups = label_cluster_partition(
+            labels, 6, [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]], 0
+        )
+        check_partition(parts, len(labels))
+        np.testing.assert_array_equal(groups, [0, 1, 0, 1, 0, 1])
+        for cid, part in enumerate(parts):
+            allowed = {0, 1, 2, 3, 4} if groups[cid] == 0 else {5, 6, 7, 8, 9}
+            assert set(labels[part]) <= allowed
+
+    def test_overlapping_groups_raise(self, labels):
+        with pytest.raises(ValueError, match="disjoint"):
+            label_cluster_partition(labels, 4, [[0, 1], [1, 2]], 0)
+
+    def test_fewer_clients_than_groups_raise(self, labels):
+        with pytest.raises(ValueError, match="clients"):
+            label_cluster_partition(labels, 1, [[0], [1]], 0)
+
+    def test_three_groups(self, labels):
+        parts, groups = label_cluster_partition(
+            labels, 9, [[0, 1, 2], [3, 4, 5], [6, 7, 8]], 0
+        )
+        assert len(np.unique(groups)) == 3
+
+
+class TestReportAndChecks:
+    def test_report_counts(self, labels):
+        parts = iid_partition(labels, 4, 0)
+        report = partition_report(labels, parts, 10)
+        assert report.shape == (4, 10)
+        assert report.sum() == len(labels)
+
+    def test_check_detects_overlap(self):
+        with pytest.raises(ValueError, match="overlaps"):
+            check_partition([np.array([0, 1]), np.array([1, 2])], 5)
+
+    def test_check_detects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            check_partition([np.array([0, 0])], 5)
+
+    def test_check_detects_out_of_range(self):
+        with pytest.raises(ValueError, match="out-of-range"):
+            check_partition([np.array([7])], 5)
+
+    def test_check_cover(self):
+        with pytest.raises(ValueError, match="covers"):
+            check_partition([np.array([0, 1])], 3, require_cover=True)

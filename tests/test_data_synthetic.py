@@ -1,0 +1,133 @@
+"""Synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    SPECS,
+    DatasetSpec,
+    available_datasets,
+    class_templates,
+    generate_dataset,
+    get_spec,
+    make_dataset,
+)
+
+
+class TestSpecs:
+    def test_registry_names(self):
+        assert available_datasets() == ["cifar10_like", "fmnist_like", "svhn_like"]
+
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [("cifar10", "cifar10_like"), ("FMNIST", "fmnist_like"), ("svhn", "svhn_like")],
+    )
+    def test_aliases(self, alias, canonical):
+        assert get_spec(alias).name == canonical
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            get_spec("imagenet")
+
+    def test_shapes_match_real_datasets(self):
+        assert SPECS["cifar10_like"].shape == (3, 32, 32)
+        assert SPECS["fmnist_like"].shape == (1, 28, 28)
+        assert SPECS["svhn_like"].shape == (3, 32, 32)
+
+    def test_grid_must_divide(self):
+        with pytest.raises(ValueError, match="divide"):
+            DatasetSpec(name="bad", shape=(1, 28, 28), template_grid=5)
+
+    def test_archetype_weight_range(self):
+        with pytest.raises(ValueError, match="archetype_weight"):
+            DatasetSpec(name="bad", shape=(1, 28, 28), n_archetypes=2, archetype_weight=1.0)
+
+
+class TestTemplates:
+    def test_shape(self):
+        spec = SPECS["fmnist_like"]
+        t = class_templates(spec)
+        assert t.shape == (10, 1, 28, 28)
+
+    def test_deterministic_across_calls(self):
+        spec = SPECS["cifar10_like"]
+        np.testing.assert_array_equal(class_templates(spec), class_templates(spec))
+
+    def test_archetype_siblings_are_closer(self):
+        spec = SPECS["cifar10_like"]  # n_archetypes=5: siblings are (c, c+5)
+        t = class_templates(spec).reshape(10, -1)
+        sibling = np.linalg.norm(t[0] - t[5])
+        cross = np.linalg.norm(t[0] - t[6])
+        assert sibling < cross
+
+    def test_no_archetypes_when_disabled(self):
+        spec = DatasetSpec(name="plain", shape=(1, 28, 28), n_archetypes=0)
+        t = class_templates(spec).reshape(10, -1)
+        # Without archetypes, sibling pairs are no closer than others.
+        sibling = np.linalg.norm(t[0] - t[5])
+        cross = np.linalg.norm(t[0] - t[6])
+        assert abs(sibling - cross) < max(sibling, cross)  # same order
+
+
+class TestGeneration:
+    def test_shapes_and_dtypes(self):
+        ds = make_dataset("fmnist", 100, 0)
+        assert ds.images.shape == (100, 1, 28, 28)
+        assert ds.images.dtype == np.float32
+        assert ds.labels.dtype == np.int64
+        assert ds.n_classes == 10
+
+    def test_standardised(self):
+        ds = make_dataset("cifar10", 500, 0)
+        assert abs(float(ds.images.mean())) < 1e-5
+        assert float(ds.images.std()) == pytest.approx(1.0, abs=1e-4)
+
+    def test_deterministic_in_seed(self):
+        a = make_dataset("svhn", 50, 42)
+        b = make_dataset("svhn", 50, 42)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_dataset("svhn", 50, 1)
+        b = make_dataset("svhn", 50, 2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_pinned_labels(self):
+        labels = np.array([0, 1, 2, 3, 4])
+        ds = generate_dataset(SPECS["fmnist_like"], 5, 0, labels=labels)
+        np.testing.assert_array_equal(ds.labels, labels)
+
+    def test_pinned_labels_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            generate_dataset(SPECS["fmnist_like"], 5, 0, labels=np.zeros(3, dtype=int))
+        with pytest.raises(ValueError, match="out of range"):
+            generate_dataset(
+                SPECS["fmnist_like"], 2, 0, labels=np.array([0, 99])
+            )
+
+    def test_class_signal_present(self):
+        """Same-class samples must be more similar than cross-class ones."""
+        labels = np.array([3] * 20 + [7] * 20)
+        ds = generate_dataset(SPECS["fmnist_like"], 40, 0, labels=labels)
+        flat = ds.images.reshape(40, -1)
+        mean3 = flat[:20].mean(axis=0)
+        mean7 = flat[20:].mean(axis=0)
+        # Class means separated by more than their dispersion says the
+        # class signal survives noise.
+        assert np.linalg.norm(mean3 - mean7) > 0.5 * flat[:20].std(axis=0).mean()
+
+    def test_overrides(self):
+        ds = make_dataset("fmnist", 20, 0, noise_std=0.0, shift_max=0, deform_scale=0.0)
+        # With all randomness off, same-class samples are identical.
+        labels = ds.labels
+        for c in np.unique(labels):
+            group = ds.images[labels == c]
+            if len(group) > 1:
+                np.testing.assert_allclose(group[0], group[1], atol=1e-6)
+
+    def test_nonpositive_n_raises(self):
+        with pytest.raises(ValueError, match="n_samples"):
+            generate_dataset(SPECS["fmnist_like"], 0, 0)

@@ -1,0 +1,90 @@
+"""Run histories and client sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.history import RoundRecord, RunHistory
+from repro.fl.sampling import full_participation, uniform_sample
+
+
+def _record(i, acc=0.5, up=100, down=100):
+    return RoundRecord(
+        round_index=i,
+        mean_train_loss=1.0 / i,
+        mean_local_accuracy=acc,
+        n_participants=4,
+        n_clusters=1,
+        uploaded_params=up * i,
+        downloaded_params=down * i,
+    )
+
+
+class TestRunHistory:
+    def test_append_and_curves(self):
+        history = RunHistory("fedavg", "fmnist_like", 0)
+        for i in range(1, 4):
+            history.append(_record(i, acc=0.2 * i))
+        assert history.n_rounds == 3
+        np.testing.assert_allclose(history.accuracy_curve(), [0.2, 0.4, 0.6])
+        assert history.final_accuracy == pytest.approx(0.6)
+        assert history.best_accuracy == pytest.approx(0.6)
+
+    def test_append_out_of_order_raises(self):
+        history = RunHistory("fedavg", "fmnist_like", 0)
+        history.append(_record(2))
+        with pytest.raises(ValueError, match="not after"):
+            history.append(_record(2))
+
+    def test_empty_history_nan(self):
+        history = RunHistory("fedavg", "fmnist_like", 0)
+        assert np.isnan(history.final_accuracy)
+
+    def test_rounds_to_accuracy(self):
+        history = RunHistory("x", "y", 0)
+        for i, acc in enumerate([0.3, 0.5, 0.9], start=1):
+            history.append(_record(i, acc=acc))
+        assert history.rounds_to_accuracy(0.5) == 2
+        assert history.rounds_to_accuracy(0.95) is None
+
+    def test_comm_to_accuracy(self):
+        history = RunHistory("x", "y", 0)
+        for i, acc in enumerate([0.3, 0.9], start=1):
+            history.append(_record(i, acc=acc))
+        assert history.comm_to_accuracy(0.9) == 200 + 200
+        assert history.comm_to_accuracy(0.99) is None
+
+    def test_to_dict_jsonable(self):
+        from repro.utils.serialization import to_jsonable
+
+        history = RunHistory("x", "y", 0)
+        history.append(_record(1))
+        payload = to_jsonable(history.to_dict())
+        assert payload["n_rounds"] == 1
+
+
+class TestSampling:
+    def test_full_participation(self):
+        np.testing.assert_array_equal(full_participation(5), np.arange(5))
+
+    def test_uniform_sample_size(self, rng):
+        picked = uniform_sample(10, 0.3, rng)
+        assert len(picked) == 3
+        assert len(np.unique(picked)) == 3
+        assert (np.diff(picked) > 0).all()  # sorted
+
+    def test_min_clients_floor(self, rng):
+        picked = uniform_sample(10, 0.01, rng, min_clients=2)
+        assert len(picked) == 2
+
+    def test_fraction_one_can_pick_all(self, rng):
+        assert len(uniform_sample(7, 1.0, rng)) == 7
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            uniform_sample(0, 0.5, rng)
+        with pytest.raises(ValueError):
+            uniform_sample(5, 0.0, rng)
+        with pytest.raises(ValueError):
+            uniform_sample(5, 1.5, rng)

@@ -1,0 +1,125 @@
+"""Parallel client executors: identical results across all backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.parallel import (
+    ProcessClientExecutor,
+    SerialClientExecutor,
+    ThreadClientExecutor,
+    UpdateTask,
+    make_executor,
+)
+from repro.fl.simulation import FederatedEnv
+from repro.nn.state import state_allclose
+
+
+def _tasks(env):
+    init = env.init_state()
+    return [UpdateTask(cid, init) for cid in range(env.federation.n_clients)]
+
+
+class TestExecutorEquivalence:
+    def test_thread_matches_serial(self, small_env):
+        serial = SerialClientExecutor().run(small_env, _tasks(small_env), 1)
+        thread_exec = ThreadClientExecutor(n_workers=4)
+        try:
+            threaded = thread_exec.run(small_env, _tasks(small_env), 1)
+        finally:
+            thread_exec.close()
+        assert len(serial) == len(threaded)
+        for s, t in zip(serial, threaded):
+            assert s.client_id == t.client_id
+            assert s.mean_loss == pytest.approx(t.mean_loss, rel=1e-6)
+            assert state_allclose(s.state, t.state, rtol=1e-6, atol=1e-7)
+
+    @pytest.mark.slow
+    def test_process_matches_serial(self, small_env):
+        serial = SerialClientExecutor().run(small_env, _tasks(small_env), 1)
+        proc_exec = ProcessClientExecutor(n_workers=2)
+        try:
+            processed = proc_exec.run(small_env, _tasks(small_env), 1)
+        finally:
+            proc_exec.close()
+        for s, p in zip(serial, processed):
+            assert state_allclose(s.state, p.state, rtol=1e-6, atol=1e-7)
+
+    def test_serial_is_deterministic_across_calls(self, small_env):
+        a = SerialClientExecutor().run(small_env, _tasks(small_env), 1)
+        b = SerialClientExecutor().run(small_env, _tasks(small_env), 1)
+        for ua, ub in zip(a, b):
+            assert state_allclose(ua.state, ub.state, rtol=0, atol=0)
+
+    def test_round_index_changes_stream(self, small_env):
+        a = SerialClientExecutor().run(small_env, _tasks(small_env), 1)
+        b = SerialClientExecutor().run(small_env, _tasks(small_env), 2)
+        # Different round → different shuffling → (almost surely) different state.
+        assert not state_allclose(a[0].state, b[0].state)
+
+
+class TestEnvDispatch:
+    def test_run_updates_rejects_duplicates(self, small_env):
+        init = small_env.init_state()
+        with pytest.raises(ValueError, match="duplicate"):
+            small_env.run_updates(
+                [UpdateTask(0, init), UpdateTask(0, init)], 1
+            )
+
+    def test_run_updates_rejects_bad_ids(self, small_env):
+        init = small_env.init_state()
+        with pytest.raises(ValueError, match="out of range"):
+            small_env.run_updates([UpdateTask(99, init)], 1)
+
+    def test_empty_tasks_ok(self, small_env):
+        assert small_env.run_updates([], 1) == []
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_executor("serial"), SerialClientExecutor)
+        ex = make_executor("thread", n_workers=2)
+        assert isinstance(ex, ThreadClientExecutor)
+        ex.close()
+        ex = make_executor("process", n_workers=2)
+        assert isinstance(ex, ProcessClientExecutor)
+        ex.close()
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("gpu")
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ThreadClientExecutor(n_workers=0)
+
+
+class TestEnvBasics:
+    def test_init_state_is_copy(self, small_env):
+        a = small_env.init_state()
+        a_key = next(iter(a))
+        a[a_key][...] = 1e9
+        b = small_env.init_state()
+        assert not np.allclose(b[a_key], 1e9)
+
+    def test_make_model_deterministic(self, small_env):
+        m1 = small_env.make_model()
+        m2 = small_env.make_model()
+        for (_, p1), (_, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_final_layer_keys(self, small_env):
+        assert small_env.final_layer == "classifier"
+        assert small_env.final_layer_keys == ["classifier.weight", "classifier.bias"]
+
+    def test_context_manager_closes(self, planted_federation, fast_train_cfg):
+        with FederatedEnv(
+            planted_federation,
+            model_name="cnn_small",
+            model_kwargs={"width": 4, "fc_dim": 16},
+            train_cfg=fast_train_cfg,
+            executor=ThreadClientExecutor(n_workers=2),
+        ) as env:
+            env.run_updates(_tasks(env)[:2], 1)
+        # pool shut down without error

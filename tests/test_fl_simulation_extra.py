@@ -1,0 +1,101 @@
+"""FederatedEnv details and shared algorithm-base helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import (
+    evaluate_assignment,
+    run_clustered_training,
+)
+from repro.fl.history import RunHistory
+from repro.fl.simulation import FederatedEnv
+
+
+class TestEnvEvaluation:
+    def test_evaluate_state_bounds(self, small_env):
+        acc = small_env.evaluate_state(small_env.init_state(), client_id=0)
+        assert 0.0 <= acc <= 1.0
+
+    def test_mean_local_accuracy_wrong_count_raises(self, small_env):
+        with pytest.raises(ValueError):
+            small_env.mean_local_accuracy([small_env.init_state()])
+
+    def test_server_rng_keyed_by_round(self, small_env):
+        a = small_env.server_rng(1).integers(0, 1 << 30)
+        a2 = small_env.server_rng(1).integers(0, 1 << 30)
+        b = small_env.server_rng(2).integers(0, 1 << 30)
+        assert a == a2
+        assert a != b
+
+    def test_n_params_matches_model(self, small_env):
+        assert small_env.n_params == small_env.scratch_model.num_parameters()
+
+
+@pytest.mark.slow
+class TestClusteredTrainingHelper:
+    def test_runs_each_cluster_and_records(self, small_env):
+        m = small_env.federation.n_clients
+        labels = np.array([i % 2 for i in range(m)])
+        cluster_states = [small_env.init_state(), small_env.init_state()]
+        history = RunHistory("helper", "fmnist_like", 0)
+        states, mean_acc, per_client = run_clustered_training(
+            small_env,
+            labels,
+            cluster_states,
+            history,
+            n_rounds=2,
+            first_round=1,
+            eval_every=1,
+        )
+        assert history.n_rounds == 2
+        assert len(states) == 2
+        assert per_client.shape == (m,)
+        assert 0.0 <= mean_acc <= 1.0
+        # The two cluster models must have diverged from each other
+        # (different member distributions).
+        assert any(
+            not np.allclose(states[0][k], states[1][k]) for k in states[0]
+        )
+
+    def test_empty_cluster_is_skipped(self, small_env):
+        m = small_env.federation.n_clients
+        labels = np.zeros(m, dtype=np.int64)  # everyone in cluster 0
+        cluster_states = [small_env.init_state(), small_env.init_state()]
+        history = RunHistory("helper", "fmnist_like", 0)
+        init_copy = {k: v.copy() for k, v in cluster_states[1].items()}
+        run_clustered_training(
+            small_env, labels, cluster_states, history,
+            n_rounds=1, first_round=1,
+        )
+        # Cluster 1 had no members: its state must be untouched.
+        assert all(
+            np.array_equal(cluster_states[1][k], init_copy[k]) for k in init_copy
+        )
+
+    def test_client_fraction_subsamples(self, small_env):
+        m = small_env.federation.n_clients
+        labels = np.zeros(m, dtype=np.int64)
+        history = RunHistory("helper", "fmnist_like", 0)
+        before = small_env.tracker.total_uploaded
+        run_clustered_training(
+            small_env, labels, [small_env.init_state()], history,
+            n_rounds=1, first_round=1, client_fraction=0.5,
+        )
+        uploaded = small_env.tracker.total_uploaded - before
+        assert uploaded == (m // 2) * small_env.n_params
+
+    def test_evaluate_assignment_matches_manual(self, small_env):
+        m = small_env.federation.n_clients
+        labels = np.array([i % 2 for i in range(m)])
+        states = [small_env.init_state(), small_env.init_state()]
+        mean_acc, per_client = evaluate_assignment(small_env, states, labels)
+        manual = np.array(
+            [
+                small_env.evaluate_state(states[labels[i]], i)
+                for i in range(m)
+            ]
+        )
+        np.testing.assert_allclose(per_client, manual)
+        assert mean_acc == pytest.approx(manual.mean())

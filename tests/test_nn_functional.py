@@ -1,0 +1,118 @@
+"""Functional kernels: im2col/col2im adjointness, softmax, one-hot."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import (
+    col2im,
+    conv_output_size,
+    im2col,
+    log_softmax,
+    one_hot,
+    pad_nchw,
+    sliding_windows,
+    softmax,
+)
+
+
+class TestConvOutputSize:
+    @pytest.mark.parametrize(
+        "size,kernel,stride,padding,expected",
+        [(32, 5, 1, 0, 28), (28, 5, 1, 2, 28), (28, 2, 2, 0, 14), (7, 3, 2, 1, 4)],
+    )
+    def test_known_values(self, size, kernel, stride, padding, expected):
+        assert conv_output_size(size, kernel, stride, padding) == expected
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2col:
+    def test_shapes(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8))
+        cols, (oh, ow) = im2col(x, 3, 3, 1, 0)
+        assert (oh, ow) == (6, 6)
+        assert cols.shape == (2 * 36, 3 * 9)
+
+    def test_window_content(self, rng):
+        x = rng.standard_normal((1, 1, 4, 4))
+        cols, _ = im2col(x, 2, 2, 1, 0)
+        # First window = top-left 2x2 patch, row-major.
+        np.testing.assert_allclose(cols[0], x[0, 0, :2, :2].ravel())
+        # Window at output position (1, 2).
+        np.testing.assert_allclose(
+            cols[1 * 3 + 2], x[0, 0, 1:3, 2:4].ravel()
+        )
+
+    def test_padding_zeros(self, rng):
+        x = rng.standard_normal((1, 1, 2, 2))
+        cols, (oh, ow) = im2col(x, 3, 3, 1, 1)
+        assert (oh, ow) == (2, 2)
+        # Top-left window's first row is all padding.
+        np.testing.assert_allclose(cols[0][:3], 0.0)
+
+    def test_adjointness(self, rng):
+        """col2im is the exact adjoint of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        x = rng.standard_normal((2, 3, 6, 7))
+        for kernel, stride, padding in [(3, 1, 0), (3, 2, 1), (2, 2, 0), (5, 1, 2)]:
+            cols, _ = im2col(x, kernel, kernel, stride, padding)
+            y = rng.standard_normal(cols.shape)
+            lhs = float((cols * y).sum())
+            back = col2im(y, x.shape, kernel, kernel, stride, padding)
+            rhs = float((x * back).sum())
+            assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_sliding_windows_is_view(self, rng):
+        x = rng.standard_normal((1, 1, 5, 5))
+        win = sliding_windows(x, 3, 3, 1)
+        assert win.shape == (1, 1, 3, 3, 3, 3)
+        assert win.base is not None  # no copy
+
+    def test_pad_zero_is_noop(self, rng):
+        x = rng.standard_normal((1, 1, 3, 3))
+        assert pad_nchw(x, 0) is x
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        s = softmax(rng.standard_normal((5, 7)))
+        np.testing.assert_allclose(s.sum(axis=1), 1.0, rtol=1e-12)
+
+    def test_shift_invariance(self, rng):
+        logits = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0), rtol=1e-10)
+
+    def test_extreme_logits_stable(self):
+        logits = np.array([[1000.0, -1000.0]])
+        s = softmax(logits)
+        assert np.isfinite(s).all()
+        np.testing.assert_allclose(s[0], [1.0, 0.0], atol=1e-12)
+
+    def test_log_softmax_consistency(self, rng):
+        logits = rng.standard_normal((4, 6))
+        np.testing.assert_allclose(
+            log_softmax(logits), np.log(softmax(logits)), rtol=1e-8
+        )
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(
+            out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="labels must lie"):
+            one_hot(np.array([0, 3]), 3)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([-1]), 3)
+
+    def test_2d_raises(self):
+        with pytest.raises(ValueError, match="1-D"):
+            one_hot(np.zeros((2, 2), dtype=int), 3)

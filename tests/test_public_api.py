@@ -1,0 +1,67 @@
+"""Public API surface: imports, __all__ hygiene, version, docstrings."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.utils",
+    "repro.nn",
+    "repro.nn.layers",
+    "repro.data",
+    "repro.cluster",
+    "repro.fl",
+    "repro.algorithms",
+    "repro.core",
+    "repro.experiments",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_package_imports(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} lacks a module docstring"
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_entries_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_workflow_symbols(self):
+        import repro
+
+        for symbol in (
+            "build_federation",
+            "FederatedEnv",
+            "TrainConfig",
+            "FedClust",
+            "FedClustConfig",
+            "FedAvg",
+            "make_algorithm",
+        ):
+            assert symbol in repro.__all__
+
+    def test_public_callables_documented(self):
+        """Every public callable exported at the top level has a docstring."""
+        import repro
+
+        for symbol in repro.__all__:
+            obj = getattr(repro, symbol)
+            if callable(obj):
+                assert obj.__doc__, f"repro.{symbol} lacks a docstring"
+
+    def test_cli_module_importable(self):
+        from repro.cli import build_parser, main
+
+        assert callable(main)
+        assert build_parser().prog == "repro"
