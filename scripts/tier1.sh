@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the repo's own test suite with src/ on PYTHONPATH.
+#
+#   scripts/tier1.sh                 # full tier-1 run (the gate)
+#   scripts/tier1.sh -m "not slow"   # fast lane: skip long end-to-end sims
+#
+# Extra arguments are passed through to pytest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+exec python -m pytest -x -q "$@"

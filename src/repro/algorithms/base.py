@@ -21,20 +21,37 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.fl.aggregation import weighted_average
+from repro.fl.aggregation import packed_weighted_average
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.parallel import UpdateTask
 from repro.fl.sampling import full_participation, uniform_sample
 from repro.fl.simulation import FederatedEnv
+from repro.nn.state_flat import unpack_state
 
 __all__ = [
     "RunResult",
     "FLAlgorithm",
     "fedavg_round",
+    "cohort_matrix",
     "states_for_clients",
     "evaluate_assignment",
     "run_clustered_training",
 ]
+
+
+def cohort_matrix(env: FederatedEnv, updates: Sequence) -> np.ndarray:
+    """Stack a round's client updates into one ``(m, n_params)`` matrix.
+
+    Uses each update's ``flat`` vector (populated by every executor);
+    updates built by hand without one are packed here, so external
+    executors that only fill ``state`` still work.
+    """
+    return np.stack(
+        [
+            u.flat if u.flat is not None else env.layout.pack(u.state)
+            for u in updates
+        ]
+    )
 
 
 @dataclass
@@ -108,9 +125,12 @@ def fedavg_round(
     env.tracker.record_download(env.n_params * len(members), phase)
     updates = env.run_updates(tasks, round_index)
     env.tracker.record_upload(env.n_params * len(members), phase)
-    new_state = weighted_average(
-        [u.state for u in updates], [u.n_samples for u in updates]
+    # Aggregate on the flat plane: one GEMV over the stacked updates
+    # instead of a per-key loop over state dicts.
+    new_vector = packed_weighted_average(
+        cohort_matrix(env, updates), [u.n_samples for u in updates]
     )
+    new_state = dict(unpack_state(new_vector, env.layout))
     mean_loss = float(np.mean([u.mean_loss for u in updates]))
     return new_state, mean_loss, updates
 

@@ -5,6 +5,13 @@ Identical to FedAvg except for the local objective: each client minimises
 round's global model and damping client drift under heterogeneity.  The
 proximal gradient term is implemented in
 :class:`repro.nn.optim.ProximalSGD`; everything else reuses FedAvg.
+
+On the flat transport the anchor ``w_global`` is the packed broadcast
+vector itself: executors hand it to
+:meth:`repro.nn.optim.ProximalSGD.set_anchor_flat` (via
+:func:`repro.fl.client.run_client_update_flat`), so no per-parameter
+anchor copies of the incoming dict are materialised.  The anchor values
+— and therefore the trajectory — are identical to the dict path.
 """
 
 from __future__ import annotations

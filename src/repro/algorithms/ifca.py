@@ -18,14 +18,16 @@ import numpy as np
 from repro.algorithms.base import (
     FLAlgorithm,
     RunResult,
+    cohort_matrix,
     evaluate_assignment,
 )
-from repro.fl.aggregation import weighted_average
+from repro.fl.aggregation import packed_weighted_average
 from repro.fl.evaluation import evaluate_model
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.parallel import UpdateTask
 from repro.fl.simulation import FederatedEnv
 from repro.nn.models import build_model
+from repro.nn.state_flat import unpack_state
 from repro.utils.rng import rng_for
 from repro.utils.validation import check_positive
 
@@ -113,9 +115,11 @@ class IFCA(FLAlgorithm):
                 mine = [u for u in updates if labels[u.client_id] == j]
                 if not mine:
                     continue  # empty cluster keeps its previous model
-                states[j] = weighted_average(
-                    [u.state for u in mine], [u.n_samples for u in mine]
+                # Per-cluster FedAvg on the flat plane: row-gather + GEMV.
+                vector = packed_weighted_average(
+                    cohort_matrix(env, mine), [u.n_samples for u in mine]
                 )
+                states[j] = dict(unpack_state(vector, env.layout))
                 losses.extend(u.mean_loss for u in mine)
 
             is_last = round_index == n_rounds

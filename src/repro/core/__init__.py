@@ -19,6 +19,7 @@ from repro.core.weights import (
     final_layer_matrix,
     layer_index_keys,
     layer_keys,
+    packed_weight_matrix,
     weight_matrix,
 )
 
@@ -38,5 +39,6 @@ __all__ = [
     "final_layer_matrix",
     "layer_index_keys",
     "layer_keys",
+    "packed_weight_matrix",
     "weight_matrix",
 ]

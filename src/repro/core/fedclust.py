@@ -29,6 +29,7 @@ import numpy as np
 from repro.algorithms.base import (
     FLAlgorithm,
     RunResult,
+    cohort_matrix,
     evaluate_assignment,
     run_clustered_training,
 )
@@ -39,16 +40,17 @@ from repro.core.weights import (
     final_layer_keys,
     layer_index_keys,
     layer_keys,
-    weight_matrix,
+    packed_weight_matrix,
 )
 from repro.data.dataset import ArrayDataset
-from repro.fl.aggregation import weighted_average
+from repro.fl.aggregation import packed_weighted_average
 from repro.fl.client import local_train
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.parallel import UpdateTask
 from repro.fl.simulation import FederatedEnv
 from repro.nn.module import Module
 from repro.nn.state import flatten_state
+from repro.nn.state_flat import unpack_keys
 from repro.utils.rng import rng_for
 from repro.utils.validation import check_in, check_positive
 
@@ -263,9 +265,15 @@ class FedClust(FLAlgorithm):
             )
 
         # ③ upload only the selected partial weights (responders only).
+        # The responders' states live as one packed cohort matrix; the
+        # uploaded weight matrix is a column slice of it — no per-client
+        # flatten.  (Materialised with a copy so retaining it in
+        # FittedFedClust does not pin the full cohort buffer.)
         updates = [updates_by_client[cid] for cid in responders]
-        states = [u.state for u in updates]
-        w = weight_matrix(states, selection)
+        cohort = cohort_matrix(env, updates)
+        w = np.ascontiguousarray(
+            packed_weight_matrix(cohort, env.layout, selection)
+        )
         env.tracker.record_upload(int(w.shape[1]) * len(responders), phase="clustering")
 
         # ④ proximity matrix; ⑤ hierarchical clustering + adaptive cut.
@@ -285,13 +293,12 @@ class FedClust(FLAlgorithm):
         for g in range(clustering.n_clusters):
             state = {k: v.copy() for k, v in init.items()}
             if self.config.warm_start_final_layer:
+                # Within-cluster average of the uploaded rows: one GEMV
+                # over the already-sliced weight matrix.
                 members = clustering.members_of(g)
-                member_states = [states[i] for i in members]
                 sizes = [updates[i].n_samples for i in members]
-                averaged = weighted_average(
-                    [{k: s[k] for k in selection} for s in member_states], sizes
-                )
-                state.update({k: v.copy() for k, v in averaged.items()})
+                averaged = packed_weighted_average(w[np.asarray(members)], sizes)
+                state.update(unpack_keys(averaged, env.layout, selection))
             cluster_states.append(state)
 
         return FittedFedClust(

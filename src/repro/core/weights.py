@@ -18,11 +18,13 @@ import numpy as np
 from repro.nn.models import final_linear_name, parameterized_layers
 from repro.nn.module import Module
 from repro.nn.state import flatten_state
+from repro.nn.state_flat import StateLayout
 
 __all__ = [
     "final_layer_keys",
     "layer_keys",
     "weight_matrix",
+    "packed_weight_matrix",
     "final_layer_matrix",
     "layer_index_keys",
 ]
@@ -82,6 +84,29 @@ def weight_matrix(
     if len(widths) != 1:
         raise ValueError(f"inconsistent flattened widths across clients: {widths}")
     return np.stack(rows)
+
+
+def packed_weight_matrix(
+    matrix: np.ndarray, layout: StateLayout, keys: Sequence[str]
+) -> np.ndarray:
+    """Uploaded-weight matrix as a column selection of a packed cohort.
+
+    ``matrix`` is the ``(m, n_params)`` stack of flat client states (see
+    :func:`repro.nn.state_flat.pack_states` — or simply the clients'
+    ``ClientUpdate.flat`` rows).  Where :func:`weight_matrix` flattens
+    every client's dict per call, this is ``matrix[:, columns]`` — a
+    zero-copy view when ``keys`` occupy one contiguous run (true for the
+    paper's final-layer selection, registered last in the model).
+
+    Bit-identical to ``weight_matrix([unpack(row) for row in matrix], keys)``:
+    packing stores the same float64 values flattening would produce.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[1] != layout.n_params:
+        raise ValueError(
+            f"packed cohort must be (m, {layout.n_params}), got {matrix.shape}"
+        )
+    return matrix[:, layout.columns(keys)]
 
 
 def final_layer_matrix(

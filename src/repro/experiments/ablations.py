@@ -25,7 +25,8 @@ from repro.cluster.metrics import adjusted_rand_index, group_separability
 from repro.core.clustering import ClusteringConfig, cluster_clients
 from repro.core.fedclust import FedClust, FedClustConfig
 from repro.core.proximity import proximity_matrix
-from repro.core.weights import weight_matrix
+from repro.algorithms.base import cohort_matrix
+from repro.core.weights import packed_weight_matrix
 from repro.data.federation import build_federation
 from repro.experiments.presets import ExperimentScale, algorithm_kwargs, get_scale
 from repro.fl.simulation import FederatedEnv
@@ -188,12 +189,13 @@ def run_weight_ablation(
     finally:
         env.train_cfg = original
     updates.sort(key=lambda u: u.client_id)
-    states = [u.state for u in updates]
+    # One packed cohort; each selection is a column slice of it.
+    cohort = cohort_matrix(env, updates)
 
     result = WeightAblationResult()
     for selection in selections:
         keys = resolve_selection_keys(env.scratch_model, selection)
-        w = weight_matrix(states, keys)
+        w = packed_weight_matrix(cohort, env.layout, keys)
         prox = proximity_matrix(w)
         clustering = cluster_clients(prox.matrix, ClusteringConfig())
         ari = adjusted_rand_index(federation.true_groups, clustering.labels)

@@ -23,7 +23,8 @@ import numpy as np
 
 from repro.cluster.metrics import group_separability
 from repro.core.proximity import proximity_matrix
-from repro.core.weights import layer_index_keys, weight_matrix
+from repro.algorithms.base import cohort_matrix
+from repro.core.weights import layer_index_keys, packed_weight_matrix
 from repro.data.federation import build_federation
 from repro.experiments.presets import ExperimentScale, get_scale
 from repro.fl.parallel import UpdateTask
@@ -113,14 +114,15 @@ def run_fig1(
         [UpdateTask(cid, init) for cid in range(n_clients)], round_index=1
     )
     updates.sort(key=lambda u: u.client_id)
-    states = [u.state for u in updates]
+    # One packed cohort; each probed layer is a column slice of it.
+    cohort = cohort_matrix(env, updates)
 
     matrices: dict[int, np.ndarray] = {}
     separability: dict[int, float] = {}
     names: dict[int, str] = {}
     for index in layer_indices:
         name, keys = layer_index_keys(env.scratch_model, index)
-        w = weight_matrix(states, keys)
+        w = packed_weight_matrix(cohort, env.layout, keys)
         matrices[index] = proximity_matrix(w).matrix
         separability[index] = group_separability(
             matrices[index], federation.true_groups

@@ -1,11 +1,25 @@
 """Federated-learning simulation substrate."""
 
-from repro.fl.aggregation import uniform_average, weighted_average
-from repro.fl.client import ClientUpdate, local_train, run_client_update
+from repro.fl.aggregation import (
+    packed_weighted_average,
+    uniform_average,
+    weighted_average,
+    weighted_average_dict,
+)
+from repro.fl.client import (
+    ClientUpdate,
+    local_train,
+    run_client_update,
+    run_client_update_flat,
+)
 from repro.fl.communication import (
     BYTES_PER_PARAM,
     CommunicationTracker,
+    decode_flat_payload,
+    encode_flat_payload,
+    flat_payload_nbytes,
     params_in_keys,
+    params_in_layout,
     params_in_state,
 )
 from repro.fl.config import TrainConfig
@@ -23,14 +37,21 @@ from repro.fl.sampling import full_participation, uniform_sample
 from repro.fl.simulation import FederatedEnv
 
 __all__ = [
+    "packed_weighted_average",
     "uniform_average",
     "weighted_average",
+    "weighted_average_dict",
     "ClientUpdate",
     "local_train",
     "run_client_update",
+    "run_client_update_flat",
     "BYTES_PER_PARAM",
     "CommunicationTracker",
+    "decode_flat_payload",
+    "encode_flat_payload",
+    "flat_payload_nbytes",
     "params_in_keys",
+    "params_in_layout",
     "params_in_state",
     "TrainConfig",
     "EvalResult",

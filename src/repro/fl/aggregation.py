@@ -3,6 +3,19 @@
 Implements the FedAvg rule — the weighted average of client states by
 local sample count — which every algorithm in this reproduction uses
 (globally for FedAvg/FedProx, per cluster for CFL/IFCA/PACFL/FedClust).
+
+Two representations, one set of semantics:
+
+* :func:`packed_weighted_average` — the kernel.  Operates on a cohort
+  packed into one ``(n_clients, n_params)`` float64 matrix (see
+  :mod:`repro.nn.state_flat`); the average is a single GEMV ``w @ X``.
+* :func:`weighted_average` — the dict API, kept as a thin compatibility
+  view: it packs, calls the kernel, and unpacks, so its output is
+  bit-identical to the packed path by construction.
+
+:func:`weighted_average_dict` preserves the original per-key loop as a
+reference kernel; benchmarks (``benchmarks/bench_kernels.py``) time it
+against the packed kernel, and tests cross-check the two numerically.
 """
 
 from __future__ import annotations
@@ -13,24 +26,21 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.nn.state import check_same_keys, state_axpy, state_zeros_like
+from repro.nn.state_flat import StateLayout, pack_states, unpack_state
 
-__all__ = ["weighted_average", "uniform_average"]
+__all__ = [
+    "packed_weighted_average",
+    "weighted_average",
+    "weighted_average_dict",
+    "uniform_average",
+]
 
 
-def weighted_average(
-    states: Sequence[Mapping[str, np.ndarray]],
-    weights: Sequence[float],
-) -> "OrderedDict[str, np.ndarray]":
-    """``Σ_i (w_i / Σw) · state_i`` with shape/key checking.
-
-    Weights are typically client sample counts ``n_i`` (Eq. 1 of the
-    paper); they must be non-negative with a positive sum.
-    """
-    if len(states) != len(weights):
-        raise ValueError(
-            f"{len(states)} states but {len(weights)} weights"
-        )
-    if not states:
+def _normalized_weights(weights: Sequence[float], n_states: int) -> np.ndarray:
+    """Validate and normalise aggregation weights (shared by all paths)."""
+    if n_states != len(weights):
+        raise ValueError(f"{n_states} states but {len(weights)} weights")
+    if not n_states:
         raise ValueError("cannot average zero states")
     w = np.asarray(weights, dtype=np.float64)
     if np.any(w < 0):
@@ -38,13 +48,70 @@ def weighted_average(
     total = w.sum()
     if total <= 0:
         raise ValueError("weights must sum to a positive value")
+    return w / total
+
+
+def packed_weighted_average(
+    matrix: np.ndarray,
+    weights: Sequence[float],
+) -> np.ndarray:
+    """``Σ_i (w_i / Σw) · X[i]`` as one GEMV over a packed cohort.
+
+    ``matrix`` is the ``(n_clients, n_params)`` float64 stack from
+    :func:`repro.nn.state_flat.pack_states` (rows may also come straight
+    from flat client updates).  Returns the float64 average vector; use
+    :func:`repro.nn.state_flat.unpack_state` to view it as a state dict.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError(f"packed cohort must be (n, p), got {matrix.shape}")
+    w = _normalized_weights(weights, matrix.shape[0])
+    return w @ matrix
+
+
+def weighted_average(
+    states: Sequence[Mapping[str, np.ndarray]],
+    weights: Sequence[float],
+    layout: StateLayout | None = None,
+) -> "OrderedDict[str, np.ndarray]":
+    """``Σ_i (w_i / Σw) · state_i`` with shape/key checking.
+
+    Weights are typically client sample counts ``n_i`` (Eq. 1 of the
+    paper); they must be non-negative with a positive sum.
+
+    Compatibility view over the flat parameter plane: packs the cohort,
+    runs :func:`packed_weighted_average`, and unpacks — so dict-API
+    callers get bit-identical results to the packed hot path.  Passing a
+    precomputed ``layout`` skips re-deriving it per call.
+    """
+    if len(states) != len(weights):
+        raise ValueError(f"{len(states)} states but {len(weights)} weights")
+    if not states:
+        raise ValueError("cannot average zero states")
     check_same_keys(list(states))
+    matrix, layout = pack_states(states, layout)
+    return unpack_state(packed_weighted_average(matrix, weights), layout)
+
+
+def weighted_average_dict(
+    states: Sequence[Mapping[str, np.ndarray]],
+    weights: Sequence[float],
+) -> "OrderedDict[str, np.ndarray]":
+    """Reference per-key implementation of the FedAvg rule.
+
+    The pre-flat-plane kernel: a Python loop of per-key AXPYs with a
+    float64 accumulator, cast back to the parameter dtype at the end.
+    Kept as the baseline that benchmarks and numerical cross-checks
+    compare the packed kernel against.
+    """
+    check_same_keys(list(states))
+    w = _normalized_weights(weights, len(states))
 
     acc = state_zeros_like(states[0])
     # Accumulate in float64 for stability, cast back to parameter dtype.
     acc64 = OrderedDict((k, v.astype(np.float64)) for k, v in acc.items())
     for state, weight in zip(states, w):
-        state_axpy(acc64, state, weight / total)
+        state_axpy(acc64, state, weight)
     return OrderedDict(
         (k, acc64[k].astype(states[0][k].dtype)) for k in acc64
     )

@@ -19,19 +19,33 @@ from repro.fl.config import TrainConfig
 from repro.nn.loss import CrossEntropyLoss
 from repro.nn.module import Module
 from repro.nn.optim import SGD, ProximalSGD
+from repro.nn.state_flat import StateLayout, pack_state, unpack_state
 
-__all__ = ["ClientUpdate", "local_train", "run_client_update"]
+__all__ = [
+    "ClientUpdate",
+    "local_train",
+    "run_client_update",
+    "run_client_update_flat",
+]
 
 
 @dataclass
 class ClientUpdate:
-    """Result of one client's local round."""
+    """Result of one client's local round.
+
+    ``flat`` is the packed float64 view of ``state`` (same values, one
+    contiguous buffer) when the update travelled the flat transport;
+    aggregation consumes it directly so no per-key repacking happens on
+    the server.  Executors always populate it; it defaults to ``None``
+    only for hand-built updates in tests and external code.
+    """
 
     client_id: int
     state: dict[str, np.ndarray]
     n_samples: int
     mean_loss: float
     n_batches: int
+    flat: np.ndarray | None = None
 
 
 def local_train(
@@ -40,12 +54,18 @@ def local_train(
     cfg: TrainConfig,
     rng: np.random.Generator,
     prox_mu: float = 0.0,
+    anchor_flat: np.ndarray | None = None,
+    layout: StateLayout | None = None,
 ) -> tuple[float, int]:
     """Train ``model`` in place on ``dataset``; return (mean loss, batches).
 
     With ``prox_mu > 0`` the optimiser is :class:`ProximalSGD` anchored at
     the model's state on entry — i.e. the global model the server just
-    broadcast — which is exactly FedProx's local objective.
+    broadcast — which is exactly FedProx's local objective.  When the
+    broadcast arrived as a packed vector, passing it as ``anchor_flat``
+    (with its ``layout``) anchors the proximal term on that buffer
+    directly instead of re-copying every parameter; the anchor values are
+    identical either way.
     """
     if len(dataset) == 0:
         raise ValueError("cannot train on an empty dataset")
@@ -59,7 +79,10 @@ def local_train(
             momentum=cfg.momentum,
             weight_decay=cfg.weight_decay,
         )
-        optimizer.set_anchor_from_params()
+        if anchor_flat is not None and layout is not None:
+            optimizer.set_anchor_flat(anchor_flat, layout)
+        else:
+            optimizer.set_anchor_from_params()
     else:
         optimizer = SGD(
             model.parameters(),
@@ -110,4 +133,43 @@ def run_client_update(
         n_samples=len(dataset),
         mean_loss=mean_loss,
         n_batches=n_batches,
+    )
+
+
+def run_client_update_flat(
+    model: Module,
+    client_id: int,
+    dataset: ArrayDataset,
+    incoming_flat: np.ndarray,
+    layout: StateLayout,
+    cfg: TrainConfig,
+    rng: np.random.Generator,
+    prox_mu: float = 0.0,
+) -> ClientUpdate:
+    """Flat-transport client round: one packed vector in, one out.
+
+    Equivalent to :func:`run_client_update` on ``unpack(incoming_flat)``
+    — packing is exact (see :mod:`repro.nn.state_flat`), so results are
+    bit-identical to the dict path — but the payload each way is a single
+    contiguous buffer, which is what the parallel executors ship across
+    process boundaries.
+    """
+    model.load_state_dict(unpack_state(incoming_flat, layout))
+    mean_loss, n_batches = local_train(
+        model,
+        dataset,
+        cfg,
+        rng,
+        prox_mu=prox_mu,
+        anchor_flat=incoming_flat,
+        layout=layout,
+    )
+    state = model.state_dict(copy=True)
+    return ClientUpdate(
+        client_id=client_id,
+        state=state,
+        n_samples=len(dataset),
+        mean_loss=mean_loss,
+        n_batches=n_batches,
+        flat=pack_state(state, layout),
     )

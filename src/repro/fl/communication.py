@@ -1,4 +1,4 @@
-"""Communication-cost accounting.
+"""Communication-cost accounting and flat payload serialization.
 
 FL communication cost is conventionally reported in *parameters
 transferred* (× 4 bytes for float32).  The tracker tags every transfer
@@ -6,17 +6,35 @@ with a phase label so experiments can separate one-off clustering
 overhead (FedClust's partial-weight upload, PACFL's basis upload) from
 steady-state training traffic — the comparison behind the paper's
 communication-cost claim.
+
+With the flat parameter plane (:mod:`repro.nn.state_flat`) the payload
+that actually moves is one contiguous buffer, so serialization is a
+single ``tobytes``/``frombuffer`` pair at the layout's wire dtype —
+:func:`encode_flat_payload`/:func:`decode_flat_payload` below.  The
+counting helpers gain a layout-based variant so accounting no longer
+needs a materialised state dict.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 import numpy as np
 
-__all__ = ["CommunicationTracker", "params_in_state", "params_in_keys"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nn.state_flat import StateLayout
+
+__all__ = [
+    "CommunicationTracker",
+    "params_in_state",
+    "params_in_keys",
+    "params_in_layout",
+    "flat_payload_nbytes",
+    "encode_flat_payload",
+    "decode_flat_payload",
+]
 
 BYTES_PER_PARAM = 4  # float32 over the wire
 
@@ -29,6 +47,50 @@ def params_in_state(state: Mapping[str, np.ndarray]) -> int:
 def params_in_keys(state: Mapping[str, np.ndarray], keys: Iterable[str]) -> int:
     """Scalar count of a key subset (e.g. the final layer)."""
     return int(sum(state[k].size for k in keys))
+
+
+def params_in_layout(
+    layout: "StateLayout", keys: Iterable[str] | None = None
+) -> int:
+    """Scalar count of a layout (or a key subset of it).
+
+    The layout-based twin of :func:`params_in_state`/:func:`params_in_keys`
+    — no state dict needed, the layout already knows every size.
+    """
+    if keys is None:
+        return int(layout.n_params)
+    return int(sum(layout.size_of(k) for k in keys))
+
+
+def flat_payload_nbytes(layout: "StateLayout") -> int:
+    """Bytes on the wire for one full-state flat payload."""
+    return int(layout.n_params) * layout.wire_dtype.itemsize
+
+
+def encode_flat_payload(vector: np.ndarray, layout: "StateLayout") -> bytes:
+    """Serialise a packed state vector to wire bytes.
+
+    The vector is stored at ``layout.wire_dtype`` — the narrowest dtype
+    that round-trips every parameter (float32 for float32 models, half
+    the bytes of the float64 working buffer).  Vectors whose values came
+    from the model's parameters round-trip exactly.
+    """
+    vector = np.asarray(vector)
+    if vector.shape != (layout.n_params,):
+        raise ValueError(
+            f"vector has shape {vector.shape}, expected ({layout.n_params},)"
+        )
+    return np.ascontiguousarray(vector, dtype=layout.wire_dtype).tobytes()
+
+
+def decode_flat_payload(payload: bytes, layout: "StateLayout") -> np.ndarray:
+    """Inverse of :func:`encode_flat_payload`; returns a float64 vector."""
+    vector = np.frombuffer(payload, dtype=layout.wire_dtype)
+    if vector.shape != (layout.n_params,):
+        raise ValueError(
+            f"payload holds {vector.size} params, expected {layout.n_params}"
+        )
+    return vector.astype(np.float64)
 
 
 @dataclass

@@ -1,4 +1,4 @@
-"""Parallel client execution.
+"""Parallel client execution over the flat transport.
 
 Within a round, client updates are embarrassingly parallel: each client
 trains its own model copy on its own data.  The executors here exploit
@@ -6,6 +6,14 @@ that on multi-core hosts while guaranteeing **bit-identical results to
 the serial path** — every (round, client) pair derives its RNG stream
 statelessly via :func:`repro.utils.rng.rng_for`, so execution order and
 worker count cannot change the outcome.
+
+All three executors move model states as *packed vectors* (see
+:mod:`repro.nn.state_flat`): the broadcast state is packed once per
+round (not once per client — broadcast tasks share one state object),
+each worker trains via :func:`repro.fl.client.run_client_update_flat`,
+and every returned :class:`ClientUpdate` carries its ``flat`` vector so
+the server can aggregate with a single GEMV without repacking.  Packing
+is exact, so the flat transport changes no numbers.
 
 Three executors:
 
@@ -17,7 +25,10 @@ Three executors:
   so sharing one across threads would race).
 * :class:`ProcessClientExecutor` — fork-based process pool for maximum
   isolation; worker processes rebuild the environment once via an
-  initializer, and per-task traffic is just (state in, state out).
+  initializer, and per-task IPC is one contiguous buffer each way
+  (encoded at the layout's wire dtype — float32 for float32 models,
+  half the bytes of the former pickled-dict payload) instead of a
+  pickled dict of arrays.
 """
 
 from __future__ import annotations
@@ -25,12 +36,13 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
-from repro.fl.client import ClientUpdate, run_client_update
+from repro.fl.client import ClientUpdate, run_client_update_flat
+from repro.fl.communication import decode_flat_payload, encode_flat_payload
 from repro.utils.rng import rng_for
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -47,11 +59,55 @@ __all__ = [
 
 @dataclass
 class UpdateTask:
-    """One client's work order for a round."""
+    """One client's work order for a round.
+
+    ``state`` may be shared across tasks (the broadcast case); executors
+    pack each distinct state object once.  ``flat`` short-circuits that
+    packing when the caller already holds the packed vector.
+    """
 
     client_id: int
     state: Mapping[str, np.ndarray]
     prox_mu: float = 0.0
+    flat: np.ndarray | None = None
+
+
+def _pack_tasks(
+    env: "FederatedEnv", tasks: Sequence[UpdateTask]
+) -> list[np.ndarray]:
+    """Packed incoming vector per task, packing shared states only once."""
+    memo: dict[int, np.ndarray] = {}
+    vectors = []
+    for task in tasks:
+        if task.flat is not None:
+            vectors.append(np.asarray(task.flat, dtype=np.float64))
+            continue
+        key = id(task.state)
+        vec = memo.get(key)
+        if vec is None:
+            vec = env.layout.pack(task.state)
+            memo[key] = vec
+        vectors.append(vec)
+    return vectors
+
+
+def _run_flat(
+    env: "FederatedEnv",
+    model,
+    task: UpdateTask,
+    vector: np.ndarray,
+    round_index: int,
+) -> ClientUpdate:
+    return run_client_update_flat(
+        model,
+        task.client_id,
+        env.federation.clients[task.client_id].train,
+        vector,
+        env.layout,
+        env.train_cfg,
+        rng_for(env.seed, 1, round_index, task.client_id),
+        prox_mu=task.prox_mu,
+    )
 
 
 class SerialClientExecutor:
@@ -60,17 +116,10 @@ class SerialClientExecutor:
     def run(
         self, env: "FederatedEnv", tasks: Sequence[UpdateTask], round_index: int
     ) -> list[ClientUpdate]:
+        vectors = _pack_tasks(env, tasks)
         return [
-            run_client_update(
-                env.scratch_model,
-                task.client_id,
-                env.federation.clients[task.client_id].train,
-                dict(task.state),
-                env.train_cfg,
-                rng_for(env.seed, 1, round_index, task.client_id),
-                prox_mu=task.prox_mu,
-            )
-            for task in tasks
+            _run_flat(env, env.scratch_model, task, vec, round_index)
+            for task, vec in zip(tasks, vectors)
         ]
 
     def close(self) -> None:
@@ -101,20 +150,14 @@ class ThreadClientExecutor:
             self._pool = ThreadPoolExecutor(
                 max_workers=self.n_workers, thread_name_prefix="repro-client"
             )
+        vectors = _pack_tasks(env, tasks)
 
-        def work(task: UpdateTask) -> ClientUpdate:
+        def work(pair: tuple[UpdateTask, np.ndarray]) -> ClientUpdate:
+            task, vec = pair
             model = self._model_for_thread(env)
-            return run_client_update(
-                model,
-                task.client_id,
-                env.federation.clients[task.client_id].train,
-                dict(task.state),
-                env.train_cfg,
-                rng_for(env.seed, 1, round_index, task.client_id),
-                prox_mu=task.prox_mu,
-            )
+            return _run_flat(env, model, task, vec, round_index)
 
-        return list(self._pool.map(work, tasks))
+        return list(self._pool.map(work, zip(tasks, vectors)))
 
     def close(self) -> None:
         if self._pool is not None:
@@ -134,19 +177,38 @@ def _process_worker_init(env: "FederatedEnv") -> None:
 
 
 def _process_worker_run(
-    args: tuple[int, dict[str, np.ndarray], float, int],
-) -> ClientUpdate:
-    client_id, state, prox_mu, round_index = args
+    args: tuple[int, bytes, float, int, object],
+) -> tuple[int, bytes, int, float, int]:
+    """One task in a worker: decode → train → encode.
+
+    The payload each way is the wire-encoded flat vector plus scalars —
+    no state dicts cross the process boundary.  The active training
+    config rides along with the task: the worker's forked environment is
+    a snapshot from pool creation, so trusting ``env.train_cfg`` would
+    miss parent-side overrides (e.g. FedClust's warm-up config, which is
+    swapped in only for the clustering round — forking mid-round used to
+    freeze it into the workers for every later round).
+    """
+    client_id, payload, prox_mu, round_index, train_cfg = args
     env = _WORKER_ENV
     assert env is not None, "worker initializer did not run"
-    return run_client_update(
+    vector = decode_flat_payload(payload, env.layout)
+    update = run_client_update_flat(
         env.scratch_model,
         client_id,
         env.federation.clients[client_id].train,
-        state,
-        env.train_cfg,
+        vector,
+        env.layout,
+        train_cfg,
         rng_for(env.seed, 1, round_index, client_id),
         prox_mu=prox_mu,
+    )
+    return (
+        update.client_id,
+        encode_flat_payload(update.flat, env.layout),
+        update.n_samples,
+        update.mean_loss,
+        update.n_batches,
     )
 
 
@@ -181,11 +243,35 @@ class ProcessClientExecutor:
         self, env: "FederatedEnv", tasks: Sequence[UpdateTask], round_index: int
     ) -> list[ClientUpdate]:
         pool = self._ensure_pool(env)
-        payload = [
-            (task.client_id, dict(task.state), task.prox_mu, round_index)
-            for task in tasks
-        ]
-        return list(pool.map(_process_worker_run, payload))
+        vectors = _pack_tasks(env, tasks)
+        # Broadcast tasks share one packed vector; encode each distinct
+        # vector once (mirrors _pack_tasks's memo).
+        encoded: dict[int, bytes] = {}
+        payload = []
+        for task, vec in zip(tasks, vectors):
+            buf = encoded.get(id(vec))
+            if buf is None:
+                buf = encode_flat_payload(vec, env.layout)
+                encoded[id(vec)] = buf
+            payload.append(
+                (task.client_id, buf, task.prox_mu, round_index, env.train_cfg)
+            )
+        updates = []
+        for client_id, buf, n_samples, mean_loss, n_batches in pool.map(
+            _process_worker_run, payload
+        ):
+            flat = decode_flat_payload(buf, env.layout)
+            updates.append(
+                ClientUpdate(
+                    client_id=client_id,
+                    state=env.layout.unpack(flat),
+                    n_samples=n_samples,
+                    mean_loss=mean_loss,
+                    n_batches=n_batches,
+                    flat=flat,
+                )
+            )
+        return updates
 
     def close(self) -> None:
         if self._pool is not None:

@@ -29,6 +29,7 @@ from repro.fl.evaluation import evaluate_model, mean_local_accuracy
 from repro.fl.parallel import SerialClientExecutor, UpdateTask
 from repro.nn.models import build_model, final_linear_name
 from repro.nn.module import Sequential
+from repro.nn.state_flat import StateLayout
 from repro.utils.rng import rng_for
 
 __all__ = ["FederatedEnv"]
@@ -77,6 +78,9 @@ class FederatedEnv:
         self.tracker = tracker or CommunicationTracker()
         self.scratch_model = self.make_model()
         self._init_state = self.scratch_model.state_dict(copy=True)
+        #: Flat-plane layout shared by executors, aggregation and
+        #: clustering for this architecture (see repro.nn.state_flat).
+        self.layout = StateLayout.from_state(self._init_state)
         self.n_params = self.scratch_model.num_parameters()
         self.final_layer = final_linear_name(self.scratch_model)
         self.final_layer_keys = [

@@ -7,7 +7,7 @@ FedProx proximal variant), weight initialisers, a model zoo (LeNet-5, MLP,
 VGG-style nets), and state-dict arithmetic for federated aggregation.
 """
 
-from repro.nn import functional, init, state
+from repro.nn import functional, init, state, state_flat
 from repro.nn.layers import (
     AvgPool2d,
     BatchNorm1d,
@@ -38,6 +38,13 @@ from repro.nn.models import (
     vgg16_style,
 )
 from repro.nn.module import Module, Sequential
+from repro.nn.state_flat import (
+    StateLayout,
+    pack_state,
+    pack_states,
+    unpack_keys,
+    unpack_state,
+)
 from repro.nn.optim import SGD, Adam, Optimizer, ProximalSGD
 from repro.nn.parameter import Parameter
 from repro.nn.schedulers import (
@@ -52,6 +59,12 @@ __all__ = [
     "functional",
     "init",
     "state",
+    "state_flat",
+    "StateLayout",
+    "pack_state",
+    "pack_states",
+    "unpack_keys",
+    "unpack_state",
     "AvgPool2d",
     "BatchNorm1d",
     "BatchNorm2d",

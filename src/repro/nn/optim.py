@@ -132,6 +132,34 @@ class ProximalSGD(SGD):
         """Anchor at the parameters' current values (round start)."""
         self._anchor = [p.data.copy() for p in self.params]
 
+    def set_anchor_flat(self, vector: np.ndarray, layout) -> None:
+        """Anchor at a packed state vector (the broadcast buffer).
+
+        ``layout`` is the :class:`repro.nn.state_flat.StateLayout` of the
+        model whose parameters this optimiser holds; parameter order must
+        match the layout's key order (both are registration order).  Each
+        anchor is the corresponding slice cast to the parameter dtype, so
+        the values are exactly those :meth:`set_anchor_from_params` would
+        capture after loading ``vector`` into the model — without another
+        pass over per-parameter copies of the incoming dict.
+        """
+        vector = np.asarray(vector)
+        if len(layout.keys) != len(self.params):
+            raise ValueError(
+                f"layout has {len(layout.keys)} entries for "
+                f"{len(self.params)} parameters"
+            )
+        anchor = []
+        for p, lo, hi, shape in zip(
+            self.params, layout.offsets[:-1], layout.offsets[1:], layout.shapes
+        ):
+            if shape != p.data.shape:
+                raise ValueError(
+                    f"layout shape {shape} mismatches parameter {p.data.shape}"
+                )
+            anchor.append(vector[lo:hi].reshape(shape).astype(p.data.dtype))
+        self._anchor = anchor
+
     def _effective_grad(self, p: Parameter) -> np.ndarray:
         g = super()._effective_grad(p)
         if self.mu and self._anchor is not None:

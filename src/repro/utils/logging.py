@@ -65,12 +65,17 @@ class RoundLogger:
         self.total_rounds = total_rounds
         self.min_interval = min_interval
         self._emit = emit if emit is not None else get_logger("fl").info
-        self._last_emit = 0.0
+        # None until the first emit: the first call must always log.  (The
+        # old sentinel of 0.0 compared against time.monotonic(), whose
+        # origin is arbitrary, so whether round 1 appeared depended on
+        # system uptime.)
+        self._last_emit: float | None = None
 
     def log(self, round_index: int, message: str) -> None:
         """Log ``message`` for 1-based ``round_index`` if not throttled."""
         now = time.monotonic()
         is_last = round_index >= self.total_rounds
-        if is_last or now - self._last_emit >= self.min_interval:
+        is_first = self._last_emit is None
+        if is_first or is_last or now - self._last_emit >= self.min_interval:
             self._emit(f"round {round_index}/{self.total_rounds} {message}")
             self._last_emit = now

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.fl.aggregation import packed_weighted_average
 from repro.fl.parallel import (
     ProcessClientExecutor,
     SerialClientExecutor,
@@ -57,6 +58,107 @@ class TestExecutorEquivalence:
         b = SerialClientExecutor().run(small_env, _tasks(small_env), 2)
         # Different round → different shuffling → (almost surely) different state.
         assert not state_allclose(a[0].state, b[0].state)
+
+
+class TestFlatTransportParity:
+    """The flat transport changes no bits, whatever the executor.
+
+    Each executor ships packed vectors (the process pool additionally
+    wire-encodes them), so the guarantee under test is strict: the
+    per-client flat updates, the unpacked state dicts AND the aggregated
+    round result must be *byte-identical* across executor kinds.
+    """
+
+    @staticmethod
+    def _round(env, executor, round_index=1):
+        try:
+            updates = executor.run(env, _tasks(env), round_index)
+        finally:
+            executor.close()
+        vector = packed_weighted_average(
+            np.stack([u.flat for u in updates]),
+            [u.n_samples for u in updates],
+        )
+        return updates, vector
+
+    def test_updates_carry_consistent_flat(self, small_env):
+        updates, _ = self._round(small_env, SerialClientExecutor())
+        for u in updates:
+            assert u.flat is not None and u.flat.dtype == np.float64
+            np.testing.assert_array_equal(u.flat, small_env.layout.pack(u.state))
+
+    def test_thread_round_byte_identical(self, small_env):
+        serial_updates, serial_vec = self._round(small_env, SerialClientExecutor())
+        thread_updates, thread_vec = self._round(
+            small_env, ThreadClientExecutor(n_workers=4)
+        )
+        for s, t in zip(serial_updates, thread_updates):
+            assert s.client_id == t.client_id
+            assert s.mean_loss == t.mean_loss
+            np.testing.assert_array_equal(s.flat, t.flat)
+            assert state_allclose(s.state, t.state, rtol=0, atol=0)
+        np.testing.assert_array_equal(serial_vec, thread_vec)
+
+    @pytest.mark.slow
+    def test_process_round_byte_identical(self, small_env):
+        serial_updates, serial_vec = self._round(small_env, SerialClientExecutor())
+        process_updates, process_vec = self._round(
+            small_env, ProcessClientExecutor(n_workers=2)
+        )
+        for s, p in zip(serial_updates, process_updates):
+            assert s.client_id == p.client_id
+            assert s.mean_loss == p.mean_loss
+            np.testing.assert_array_equal(s.flat, p.flat)
+            assert state_allclose(s.state, p.state, rtol=0, atol=0)
+        np.testing.assert_array_equal(serial_vec, process_vec)
+
+    @pytest.mark.slow
+    def test_process_honors_train_cfg_set_after_fork(self, small_env):
+        """Workers must use the round's config, not their forked snapshot.
+
+        Regression test for the FedClust warm-up pattern: the pool forks
+        on first use, and the parent later swaps ``env.train_cfg`` for a
+        round.  The config now rides with each task, so the override must
+        reach the workers (it used to be silently ignored — and worse,
+        a pool forked *during* an override kept it forever).
+        """
+        import dataclasses
+
+        tasks = _tasks(small_env)[:2]
+        proc = ProcessClientExecutor(n_workers=2)
+        try:
+            proc.run(small_env, tasks, 1)  # pool forks with the original cfg
+            override = dataclasses.replace(
+                small_env.train_cfg, local_epochs=2, momentum=0.0
+            )
+            original = small_env.train_cfg
+            small_env.train_cfg = override
+            try:
+                got = proc.run(small_env, tasks, 2)
+                want = SerialClientExecutor().run(small_env, tasks, 2)
+            finally:
+                small_env.train_cfg = original
+        finally:
+            proc.close()
+        for g, w in zip(got, want):
+            np.testing.assert_array_equal(g.flat, w.flat)
+
+    @pytest.mark.slow
+    def test_process_prox_round_byte_identical(self, small_env):
+        """FedProx's flat anchor must not perturb process-pool results."""
+        init = small_env.init_state()
+        tasks = [
+            UpdateTask(cid, init, prox_mu=0.1)
+            for cid in range(small_env.federation.n_clients)
+        ]
+        serial = SerialClientExecutor().run(small_env, tasks, 1)
+        proc = ProcessClientExecutor(n_workers=2)
+        try:
+            processed = proc.run(small_env, tasks, 1)
+        finally:
+            proc.close()
+        for s, p in zip(serial, processed):
+            np.testing.assert_array_equal(s.flat, p.flat)
 
 
 class TestEnvDispatch:

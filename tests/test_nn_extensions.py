@@ -22,7 +22,7 @@ from repro.nn.loss import CrossEntropyLoss
 from repro.nn.module import Sequential
 from repro.nn.parameter import Parameter
 
-from .helpers import check_module_gradients, to_float64
+from helpers import check_module_gradients, to_float64
 
 
 def _param(value) -> Parameter:

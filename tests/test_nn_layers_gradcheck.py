@@ -26,7 +26,7 @@ from repro.nn.layers import (
 )
 from repro.nn.module import Sequential
 
-from .helpers import check_module_gradients, to_float64
+from helpers import check_module_gradients, to_float64
 
 
 def _x(rng: np.random.Generator, *shape: int) -> np.ndarray:

@@ -8,7 +8,7 @@ import pytest
 from repro.nn.functional import softmax
 from repro.nn.loss import CrossEntropyLoss, MSELoss
 
-from .helpers import numerical_grad_entries, sample_indices
+from helpers import numerical_grad_entries, sample_indices
 
 
 class TestCrossEntropy:
