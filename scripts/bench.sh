@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Benchmark refresh: regenerate the per-PR performance records.
+#
+#   scripts/bench.sh        # rewrites BENCH_kernels.json + BENCH_eval.json
+#
+# BENCH_kernels.json — packed-vs-dict aggregation kernels (PR 1);
+# BENCH_eval.json    — grouped/fused vs per-client evaluation (PR 2).
+# Both records carry bit-identity flags; the fast correctness gates live
+# in the test suite (scripts/tier1.sh), so a benchmark run is about
+# timings, not correctness.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+python benchmarks/bench_kernels.py
+python benchmarks/bench_eval.py

@@ -152,8 +152,13 @@ def evaluate_assignment(
     cluster_states: Sequence[Mapping[str, np.ndarray]],
     labels: np.ndarray,
 ) -> tuple[float, np.ndarray]:
-    """Mean local accuracy when each client is served its cluster model."""
-    return env.mean_local_accuracy(states_for_clients(cluster_states, labels))
+    """Mean local accuracy when each client is served its cluster model.
+
+    Grouped evaluation: each cluster model is loaded once and its
+    members' test splits share forward batches (no per-client state
+    list is ever expanded).
+    """
+    return env.evaluate_assignment(cluster_states, labels)
 
 
 def run_clustered_training(

@@ -36,6 +36,7 @@ import numpy as np
 from repro.algorithms.base import (
     FLAlgorithm,
     RunResult,
+    cohort_matrix,
     evaluate_assignment,
     fedavg_round,
 )
@@ -43,7 +44,6 @@ from repro.cluster.distance import pairwise_cosine_distance
 from repro.cluster.hierarchy import cut_by_k, linkage
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.simulation import FederatedEnv
-from repro.nn.state import flatten_state, state_sub
 from repro.utils.validation import check_in, check_positive
 
 __all__ = ["CFL"]
@@ -143,13 +143,14 @@ class CFL(FLAlgorithm):
                     env, incoming, cluster.members, round_index
                 )
                 losses.append(loss)
-                # Flattened update vectors Δ_i = local − incoming.
-                deltas = np.stack(
-                    [
-                        flatten_state(state_sub(u.state, incoming))
-                        for u in updates
-                    ]
-                )
+                # Update vectors Δ_i = local − incoming on the flat
+                # plane: one row-broadcast subtraction over the round's
+                # packed cohort instead of a per-key dict loop.  The
+                # subtraction happens in float64 (pack embeds float32
+                # exactly), where the dict path subtracted in float32
+                # first — norms and split margins agree to float32
+                # round-off; the parity test pins the split decisions.
+                deltas = cohort_matrix(env, updates) - env.layout.pack(incoming)
                 weights = np.array([u.n_samples for u in updates], dtype=np.float64)
                 weights /= weights.sum()
                 mean_norm = float(np.linalg.norm(weights @ deltas))

@@ -55,7 +55,11 @@ class FedAvg(FLAlgorithm):
             )
             is_last = round_index == n_rounds
             if is_last or round_index % eval_every == 0:
-                mean_acc, per_client = env.mean_local_accuracy([state] * m)
+                # Grouped eval: the one global model is loaded once and
+                # every client's test split shares the fused batches.
+                mean_acc, per_client = env.evaluate_assignment(
+                    [state], np.zeros(m, dtype=np.int64)
+                )
             history.append(
                 RoundRecord(
                     round_index=round_index,

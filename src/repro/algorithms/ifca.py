@@ -22,7 +22,7 @@ from repro.algorithms.base import (
     evaluate_assignment,
 )
 from repro.fl.aggregation import packed_weighted_average
-from repro.fl.evaluation import evaluate_model
+from repro.fl.eval_flat import fused_evaluate
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.parallel import UpdateTask
 from repro.fl.simulation import FederatedEnv
@@ -76,18 +76,26 @@ class IFCA(FLAlgorithm):
     def _assign(
         self, env: FederatedEnv, states: list[dict[str, np.ndarray]]
     ) -> np.ndarray:
-        """Each client picks the cluster model with lowest local loss."""
+        """Each client picks the cluster model with lowest local loss.
+
+        Fused on the flat plane's eval path: each of the ``k`` candidate
+        models is loaded once and probed against *all* clients' capped
+        train splits in shared batches (k fused sweeps instead of
+        ``k x m`` per-client loops), with per-client losses recovered by
+        segment reduction.
+        """
         m = env.federation.n_clients
         losses = np.zeros((m, self.n_clusters))
         cap = self.assignment_batches * env.train_cfg.batch_size
+        probes = []
+        for cid in range(m):
+            train = env.federation.clients[cid].train
+            probes.append(train if len(train) <= cap else train.subset(np.arange(cap)))
         for j, state in enumerate(states):
             env.scratch_model.load_state_dict(state)
-            for cid in range(m):
-                train = env.federation.clients[cid].train
-                probe = train if len(train) <= cap else train.subset(np.arange(cap))
-                losses[cid, j] = evaluate_model(
-                    env.scratch_model, probe, batch_size=env.train_cfg.eval_batch_size
-                ).loss
+            losses[:, j] = fused_evaluate(
+                env.scratch_model, probes, batch_size=env.train_cfg.eval_batch_size
+            ).loss
         return losses.argmin(axis=1)
 
     # ------------------------------------------------------------------

@@ -52,6 +52,9 @@ class LocalOnly(FLAlgorithm):
 
             is_last = round_index == n_rounds
             if is_last or round_index % eval_every == 0:
+                # Worst case for grouped eval — every client has its own
+                # model, so identity-dedup finds m singleton groups and
+                # the compat view degenerates to the per-client loop.
                 mean_acc, per_client = env.mean_local_accuracy(client_states)
             history.append(
                 RoundRecord(

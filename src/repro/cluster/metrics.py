@@ -87,7 +87,10 @@ def normalized_mutual_information(
     denom = 0.5 * (h_true + h_pred)
     if denom == 0.0:
         return 0.0
-    return float(max(mi, 0.0) / denom)
+    # mi and denom are the same sums accumulated in different orders, so
+    # identical labelings can land at mi/denom = 1 + O(eps); clamp to the
+    # documented range.
+    return float(min(max(mi, 0.0) / denom, 1.0))
 
 
 def purity(labels_true: np.ndarray, labels_pred: np.ndarray) -> float:

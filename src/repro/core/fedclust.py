@@ -30,7 +30,6 @@ from repro.algorithms.base import (
     FLAlgorithm,
     RunResult,
     cohort_matrix,
-    evaluate_assignment,
     run_clustered_training,
 )
 from repro.core.clustering import ClusteringConfig, ClusteringResult, cluster_clients
@@ -324,7 +323,9 @@ class FedClust(FLAlgorithm):
         history = RunHistory(self.name, env.federation.dataset_name, env.seed)
 
         fitted = self.clustering_round(env, round_index=1)
-        mean_acc, _ = evaluate_assignment(env, fitted.cluster_states, fitted.labels)
+        # Grouped Table-I eval: each cluster model is loaded once and its
+        # members' test splits share fused batches (repro.fl.eval_flat).
+        mean_acc, _ = env.evaluate_assignment(fitted.cluster_states, fitted.labels)
         history.append(
             RoundRecord(
                 round_index=1,

@@ -154,10 +154,15 @@ def run_fig2(
     expected_cluster = int(np.bincount(peer_clusters).argmax())
     correct = assignment.cluster == expected_cluster
 
+    batch = env.train_cfg.eval_batch_size
     env.scratch_model.load_state_dict(dict(serving_state))
-    acc_cluster = evaluate_model(env.scratch_model, newcomer_data.test).accuracy
+    acc_cluster = evaluate_model(
+        env.scratch_model, newcomer_data.test, batch_size=batch
+    ).accuracy
     env.scratch_model.load_state_dict(fitted.init_state)
-    acc_init = evaluate_model(env.scratch_model, newcomer_data.test).accuracy
+    acc_init = evaluate_model(
+        env.scratch_model, newcomer_data.test, batch_size=batch
+    ).accuracy
     steps.append(
         WorkflowStep(
             6,

@@ -23,6 +23,14 @@ from repro.fl.communication import (
     params_in_state,
 )
 from repro.fl.config import TrainConfig
+from repro.fl.eval_flat import (
+    CohortEval,
+    evaluate_grouped,
+    evaluate_packed,
+    fused_evaluate,
+    group_by_identity,
+    mean_local_accuracy_grouped,
+)
 from repro.fl.evaluation import EvalResult, evaluate_model, mean_local_accuracy
 from repro.fl.failures import FaultyExecutor
 from repro.fl.history import RoundRecord, RunHistory
@@ -54,6 +62,12 @@ __all__ = [
     "params_in_layout",
     "params_in_state",
     "TrainConfig",
+    "CohortEval",
+    "evaluate_grouped",
+    "evaluate_packed",
+    "fused_evaluate",
+    "group_by_identity",
+    "mean_local_accuracy_grouped",
     "EvalResult",
     "evaluate_model",
     "mean_local_accuracy",

@@ -73,6 +73,7 @@ def weighted_average(
     states: Sequence[Mapping[str, np.ndarray]],
     weights: Sequence[float],
     layout: StateLayout | None = None,
+    matrix: np.ndarray | None = None,
 ) -> "OrderedDict[str, np.ndarray]":
     """``Σ_i (w_i / Σw) · state_i`` with shape/key checking.
 
@@ -82,14 +83,28 @@ def weighted_average(
     Compatibility view over the flat parameter plane: packs the cohort,
     runs :func:`packed_weighted_average`, and unpacks — so dict-API
     callers get bit-identical results to the packed hot path.  Passing a
-    precomputed ``layout`` skips re-deriving it per call.
+    precomputed ``layout`` skips re-deriving it per call.  In the round
+    loop the cohort usually *already lives* packed (executors return
+    flat updates; see ``cohort_matrix``); pass it as ``matrix`` (row
+    ``i`` = packed ``states[i]``) and the view skips repacking entirely
+    — packing dominated the view's cost, not the GEMV.
     """
     if len(states) != len(weights):
         raise ValueError(f"{len(states)} states but {len(weights)} weights")
     if not states:
         raise ValueError("cannot average zero states")
     check_same_keys(list(states))
-    matrix, layout = pack_states(states, layout)
+    if matrix is None:
+        matrix, layout = pack_states(states, layout)
+    else:
+        if layout is None:
+            layout = StateLayout.from_state(states[0])
+        matrix = np.asarray(matrix)
+        if matrix.shape != (len(states), layout.n_params):
+            raise ValueError(
+                f"matrix has shape {matrix.shape}, expected "
+                f"({len(states)}, {layout.n_params})"
+            )
     return unpack_state(packed_weighted_average(matrix, weights), layout)
 
 

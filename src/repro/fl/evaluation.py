@@ -1,10 +1,21 @@
-"""Evaluation protocol.
+"""Evaluation protocol — reference (per-client, serial) implementation.
 
 Table I reports the **mean local test accuracy**: every client evaluates
 the model that serves it (global model, or its cluster's model) on its
 own held-out split drawn from its own distribution; the per-client
 accuracies are averaged.  This module implements that protocol plus the
 underlying single-dataset evaluation primitive.
+
+The functions here are the *reference* kernels: one state load and one
+serial batch loop per client.  The hot path lives in
+:mod:`repro.fl.eval_flat`, which loads each distinct serving model once
+and fuses the forward passes of all clients sharing it (recovering
+per-client statistics by segment reductions) — analogous to how
+``weighted_average_dict`` is the reference for the packed aggregation
+GEMV.  Per-client accuracies from the fused path are bit-identical to
+:func:`mean_local_accuracy`; losses agree to float64 round-off (the
+same sum taken per-sample instead of per-batch-mean).  Tests and
+``benchmarks/bench_eval.py`` cross-check the two paths.
 """
 
 from __future__ import annotations
@@ -70,6 +81,10 @@ def mean_local_accuracy(
     ``client_states[i]`` is the state dict serving client ``i`` —
     algorithms pass the global state for every client, or each client's
     cluster model.  ``model`` is a scratch instance reused across clients.
+
+    Reference implementation (one load + one batch loop per client);
+    production call sites go through :mod:`repro.fl.eval_flat`, which is
+    bit-identical on accuracies and ~k/n the server-side work.
     """
     if len(client_states) != len(client_testsets):
         raise ValueError(

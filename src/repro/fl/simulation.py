@@ -8,7 +8,18 @@ and a client executor.  Algorithms (in :mod:`repro.algorithms` and
 * :meth:`FederatedEnv.init_state` — the initial global model,
 * :meth:`FederatedEnv.run_updates` — dispatch local training for a set of
   (client, incoming-state) pairs through the configured executor,
-* :meth:`FederatedEnv.mean_local_accuracy` — the Table-I metric.
+* :meth:`FederatedEnv.evaluate_assignment` /
+  :meth:`FederatedEnv.evaluate_packed` /
+  :meth:`FederatedEnv.mean_local_accuracy` — the Table-I metric.
+
+Evaluation runs on the fused path (:mod:`repro.fl.eval_flat`): clients
+are grouped by the model that serves them, each distinct model is loaded
+once, and the group's test splits share forward batches.
+:meth:`FederatedEnv.mean_local_accuracy` keeps the per-client dict-list
+signature as a compatibility view — it deduplicates the list by object
+identity and routes through the same fused kernels, with per-client
+accuracies bit-identical to the serial reference loop
+(:func:`repro.fl.evaluation.mean_local_accuracy`).
 
 Everything stochastic derives from the environment seed via stateless
 :func:`repro.utils.rng.rng_for` keys, so any algorithm run on an
@@ -25,7 +36,12 @@ from repro.data.federation import Federation
 from repro.fl.client import ClientUpdate
 from repro.fl.communication import CommunicationTracker
 from repro.fl.config import TrainConfig
-from repro.fl.evaluation import evaluate_model, mean_local_accuracy
+from repro.fl.eval_flat import (
+    evaluate_grouped,
+    evaluate_packed,
+    mean_local_accuracy_grouped,
+)
+from repro.fl.evaluation import evaluate_model
 from repro.fl.parallel import SerialClientExecutor, UpdateTask
 from repro.nn.models import build_model, final_linear_name
 from repro.nn.module import Sequential
@@ -144,14 +160,45 @@ class FederatedEnv:
     def mean_local_accuracy(
         self, states_per_client: Sequence[Mapping[str, np.ndarray]]
     ) -> tuple[float, np.ndarray]:
-        """Table-I metric: mean over clients of local-test accuracy."""
+        """Table-I metric: mean over clients of local-test accuracy.
+
+        Compatibility view over the fused path: the per-client list is
+        deduplicated by object identity, each distinct state is loaded
+        once, and clients sharing a state share forward batches.
+        Accuracies are bit-identical to the serial per-client loop.
+        """
         testsets = [c.test for c in self.federation.clients]
-        return mean_local_accuracy(
+        return mean_local_accuracy_grouped(
             self.scratch_model,
             states_per_client,
             testsets,
             batch_size=self.train_cfg.eval_batch_size,
         )
+
+    def evaluate_assignment(
+        self,
+        cluster_states: Sequence[Mapping[str, np.ndarray]],
+        labels: np.ndarray,
+    ) -> tuple[float, np.ndarray]:
+        """Table-I metric when client ``i`` is served
+        ``cluster_states[labels[i]]`` — one load per cluster, fused
+        forwards per cluster cohort."""
+        testsets = [c.test for c in self.federation.clients]
+        return evaluate_grouped(
+            self.scratch_model,
+            cluster_states,
+            labels,
+            testsets,
+            batch_size=self.train_cfg.eval_batch_size,
+        )
+
+    def evaluate_packed(
+        self, matrix: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Table-I metric straight from packed rows: ``matrix[labels[i]]``
+        (on this environment's layout) serves client ``i``; no state
+        dicts are materialised."""
+        return evaluate_packed(self, matrix, labels)
 
     # ------------------------------------------------------------------
     # Lifecycle

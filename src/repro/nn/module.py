@@ -142,6 +142,41 @@ class Module:
         for name, param in own.items():
             param.copy_(state[name])
 
+    def load_flat(self, vector: np.ndarray, layout) -> None:
+        """Load a packed parameter vector straight into the module tree.
+
+        ``vector`` is a flat float64 buffer laid out per ``layout`` (a
+        :class:`repro.nn.state_flat.StateLayout`) — e.g. one row of a
+        packed cohort matrix, or the output of the aggregation GEMV.
+        Equivalent to ``load_state_dict(unpack_state(vector, layout))``
+        bit for bit (each slice is cast to the parameter dtype the same
+        way), but never materialises the intermediate dict: values are
+        copied from the buffer into the parameters directly.
+        """
+        vector = np.asarray(vector)
+        if vector.shape != (layout.n_params,):
+            raise ValueError(
+                f"vector has shape {vector.shape}, expected ({layout.n_params},)"
+            )
+        own = dict(self.named_parameters())
+        missing = own.keys() - set(layout.keys)
+        unexpected = set(layout.keys) - own.keys()
+        if missing or unexpected:
+            raise KeyError(
+                f"layout mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for key, lo, hi, shape in zip(
+            layout.keys, layout.offsets[:-1], layout.offsets[1:], layout.shapes
+        ):
+            param = own[key]
+            if param.shape != shape:
+                raise ValueError(
+                    f"parameter {key!r} has shape {param.shape}, "
+                    f"layout expects {shape}"
+                )
+            param.data[...] = vector[lo:hi].reshape(shape)
+
     def finalize_names(self) -> "Module":
         """Stamp fully-qualified names onto every parameter.
 

@@ -176,6 +176,14 @@ class StateLayout:
         """Alias for :func:`unpack_state` with this layout."""
         return unpack_state(vector, self)
 
+    def load_into(self, model: "Module", vector: np.ndarray) -> None:
+        """Load a packed vector into ``model`` without materialising a dict.
+
+        Alias for :meth:`repro.nn.module.Module.load_flat`; bit-identical
+        to ``model.load_state_dict(unpack_state(vector, self))``.
+        """
+        model.load_flat(vector, self)
+
 
 def pack_state(
     state: Mapping[str, np.ndarray],
