@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Benchmark refresh: regenerate the per-PR performance records.
 #
-#   scripts/bench.sh        # rewrites BENCH_kernels.json + BENCH_eval.json
+#   scripts/bench.sh   # rewrites BENCH_kernels.json + BENCH_eval.json
+#                      #        + BENCH_train.json
 #
 # BENCH_kernels.json — packed-vs-dict aggregation kernels (PR 1);
-# BENCH_eval.json    — grouped/fused vs per-client evaluation (PR 2).
-# Both records carry bit-identity flags; the fast correctness gates live
-# in the test suite (scripts/tier1.sh), so a benchmark run is about
-# timings, not correctness.
+# BENCH_eval.json    — grouped/fused vs per-client evaluation (PR 2);
+# BENCH_train.json   — batched lockstep vs serial cohort training (PR 3).
+# The records carry parity/bit-identity fields; the fast correctness
+# gates live in the test suite (scripts/tier1.sh), so a benchmark run is
+# about timings, not correctness.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 python benchmarks/bench_kernels.py
 python benchmarks/bench_eval.py
+python benchmarks/bench_train.py

@@ -5,6 +5,7 @@ from repro.algorithms.base import (
     RunResult,
     evaluate_assignment,
     fedavg_round,
+    fedavg_round_flat,
     run_clustered_training,
     states_for_clients,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "RunResult",
     "evaluate_assignment",
     "fedavg_round",
+    "fedavg_round_flat",
     "run_clustered_training",
     "states_for_clients",
     "CFL",

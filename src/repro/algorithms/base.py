@@ -32,6 +32,7 @@ __all__ = [
     "RunResult",
     "FLAlgorithm",
     "fedavg_round",
+    "fedavg_round_flat",
     "cohort_matrix",
     "states_for_clients",
     "evaluate_assignment",
@@ -106,22 +107,32 @@ class FLAlgorithm(abc.ABC):
         return f"{type(self).__name__}(name={self.name!r})"
 
 
-def fedavg_round(
+def fedavg_round_flat(
     env: FederatedEnv,
-    state: Mapping[str, np.ndarray],
+    vector: np.ndarray,
     members: Sequence[int],
     round_index: int,
     prox_mu: float = 0.0,
     phase: str = "training",
-) -> tuple[dict[str, np.ndarray], float, list]:
-    """One FedAvg round for a member set starting from ``state``.
+) -> tuple[np.ndarray, float, list]:
+    """One FedAvg round entirely on the flat plane.
 
-    Returns ``(aggregated_state, mean_train_loss, updates)``.  Traffic:
-    every member downloads the full model and uploads its full update.
+    ``vector`` is the packed broadcast state (one float64 row on the
+    environment's layout); every member receives it as its task payload
+    — no state dict exists at any point of the round.  Returns
+    ``(aggregated_vector, mean_train_loss, updates)`` where the
+    aggregated vector is rounded through the parameter dtypes
+    (:meth:`repro.nn.state_flat.StateLayout.round_trip`), so carrying it
+    into the next round is bit-identical to the dict path's
+    unpack → load → repack cycle.  Traffic: every member downloads the
+    full model and uploads its full update.
     """
     if len(members) == 0:
         raise ValueError("fedavg_round needs at least one member")
-    tasks = [UpdateTask(int(cid), state, prox_mu=prox_mu) for cid in members]
+    vector = np.asarray(vector, dtype=np.float64)
+    tasks = [
+        UpdateTask(int(cid), flat=vector, prox_mu=prox_mu) for cid in members
+    ]
     env.tracker.record_download(env.n_params * len(members), phase)
     updates = env.run_updates(tasks, round_index)
     env.tracker.record_upload(env.n_params * len(members), phase)
@@ -130,9 +141,35 @@ def fedavg_round(
     new_vector = packed_weighted_average(
         cohort_matrix(env, updates), [u.n_samples for u in updates]
     )
-    new_state = dict(unpack_state(new_vector, env.layout))
     mean_loss = float(np.mean([u.mean_loss for u in updates]))
-    return new_state, mean_loss, updates
+    return env.layout.round_trip(new_vector), mean_loss, updates
+
+
+def fedavg_round(
+    env: FederatedEnv,
+    state: Mapping[str, np.ndarray],
+    members: Sequence[int],
+    round_index: int,
+    prox_mu: float = 0.0,
+    phase: str = "training",
+) -> tuple[dict[str, np.ndarray], float, list]:
+    """Dict-API view of :func:`fedavg_round_flat`.
+
+    Packs ``state`` once, runs the flat round, and unpacks the result —
+    numbers are identical to the historical dict implementation (packing
+    is exact and the flat round rounds its output through the parameter
+    dtypes).  Kept for external callers; the in-tree algorithms ride the
+    flat version directly.
+    """
+    vector, mean_loss, updates = fedavg_round_flat(
+        env,
+        env.layout.pack(state),
+        members,
+        round_index,
+        prox_mu=prox_mu,
+        phase=phase,
+    )
+    return dict(unpack_state(vector, env.layout)), mean_loss, updates
 
 
 def states_for_clients(
@@ -175,11 +212,19 @@ def run_clustered_training(
 
     Used by the one-shot methods after their clustering step.  Returns the
     final cluster states and the last evaluation (mean, per-client vector).
+
+    Internally the cluster models live as rows of one packed
+    ``(n_clusters, n_params)`` matrix: broadcasts are row payloads,
+    aggregation writes rows back, and evaluation consumes the matrix
+    directly (:meth:`FederatedEnv.evaluate_packed`).  The dict states in
+    ``cluster_states`` are packed once on entry and unpacked once on
+    return — numbers match the historical per-round dict cycle exactly.
     """
     labels = np.asarray(labels)
     n_clusters = len(cluster_states)
     members_of = [np.flatnonzero(labels == g) for g in range(n_clusters)]
     mean_acc, per_client = float("nan"), np.full(env.federation.n_clients, np.nan)
+    matrix = np.stack([env.layout.pack(state) for state in cluster_states])
 
     for offset in range(n_rounds):
         round_index = first_round + offset
@@ -193,15 +238,15 @@ def run_clustered_training(
             if client_fraction < 1.0 and len(members) > 1:
                 n_pick = max(1, int(round(client_fraction * len(members))))
                 members = np.sort(rng.choice(members, size=n_pick, replace=False))
-            new_state, loss, _ = fedavg_round(
-                env, cluster_states[g], members, round_index
+            new_vector, loss, _ = fedavg_round_flat(
+                env, matrix[g], members, round_index
             )
-            cluster_states[g] = new_state
+            matrix[g] = new_vector
             losses.append(loss)
 
         is_last = offset == n_rounds - 1
         if is_last or (round_index % eval_every == 0):
-            mean_acc, per_client = evaluate_assignment(env, cluster_states, labels)
+            mean_acc, per_client = env.evaluate_packed(matrix, labels)
         history.append(
             RoundRecord(
                 round_index=round_index,
@@ -214,4 +259,5 @@ def run_clustered_training(
                 wall_seconds=time.perf_counter() - t0,
             )
         )
+    cluster_states = [dict(unpack_state(row, env.layout)) for row in matrix]
     return cluster_states, mean_acc, per_client

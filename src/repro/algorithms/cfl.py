@@ -37,8 +37,7 @@ from repro.algorithms.base import (
     FLAlgorithm,
     RunResult,
     cohort_matrix,
-    evaluate_assignment,
-    fedavg_round,
+    fedavg_round_flat,
 )
 from repro.cluster.distance import pairwise_cosine_distance
 from repro.cluster.hierarchy import cut_by_k, linkage
@@ -51,9 +50,15 @@ __all__ = ["CFL"]
 
 @dataclass
 class _Cluster:
-    """Server-side cluster bookkeeping."""
+    """Server-side cluster bookkeeping.
 
-    state: dict[str, np.ndarray]
+    ``state`` is the cluster model as a packed float64 row on the
+    environment's layout — CFL rides the flat plane end to end, so the
+    broadcast payload, the Δ baseline and the evaluation input are all
+    this one buffer.
+    """
+
+    state: np.ndarray
     members: np.ndarray
     scale0: float | None = None  # first-round max update norm
     history_of_splits: list[int] = field(default_factory=list)
@@ -129,7 +134,7 @@ class CFL(FLAlgorithm):
         m = env.federation.n_clients
         history = RunHistory(self.name, env.federation.dataset_name, env.seed)
         clusters: list[_Cluster] = [
-            _Cluster(state=env.init_state(), members=np.arange(m))
+            _Cluster(state=env.layout.pack(env.init_state()), members=np.arange(m))
         ]
         mean_acc, per_client = float("nan"), np.full(m, np.nan)
 
@@ -139,7 +144,7 @@ class CFL(FLAlgorithm):
             next_clusters: list[_Cluster] = []
             for cluster in clusters:
                 incoming = cluster.state
-                new_state, loss, updates = fedavg_round(
+                new_state, loss, updates = fedavg_round_flat(
                     env, incoming, cluster.members, round_index
                 )
                 losses.append(loss)
@@ -150,7 +155,7 @@ class CFL(FLAlgorithm):
                 # exactly), where the dict path subtracted in float32
                 # first — norms and split margins agree to float32
                 # round-off; the parity test pins the split decisions.
-                deltas = cohort_matrix(env, updates) - env.layout.pack(incoming)
+                deltas = cohort_matrix(env, updates) - incoming
                 weights = np.array([u.n_samples for u in updates], dtype=np.float64)
                 weights /= weights.sum()
                 mean_norm = float(np.linalg.norm(weights @ deltas))
@@ -168,7 +173,7 @@ class CFL(FLAlgorithm):
                         for side in (left, right):
                             next_clusters.append(
                                 _Cluster(
-                                    state={k: v.copy() for k, v in new_state.items()},
+                                    state=new_state.copy(),
                                     members=cluster.members[side],
                                     scale0=cluster.scale0,
                                     history_of_splits=cluster.history_of_splits
@@ -183,8 +188,8 @@ class CFL(FLAlgorithm):
             labels = self._labels(clusters, m)
             is_last = round_index == n_rounds
             if is_last or round_index % eval_every == 0:
-                mean_acc, per_client = evaluate_assignment(
-                    env, [c.state for c in clusters], labels
+                mean_acc, per_client = env.evaluate_packed(
+                    np.stack([c.state for c in clusters]), labels
                 )
             history.append(
                 RoundRecord(

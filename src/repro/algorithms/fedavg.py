@@ -13,7 +13,7 @@ import time
 
 import numpy as np
 
-from repro.algorithms.base import FLAlgorithm, RunResult, fedavg_round
+from repro.algorithms.base import FLAlgorithm, RunResult, fedavg_round_flat
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.simulation import FederatedEnv
 from repro.utils.validation import check_fraction
@@ -43,22 +43,25 @@ class FedAvg(FLAlgorithm):
         if n_rounds < 1:
             raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
         history = RunHistory(self.name, env.federation.dataset_name, env.seed)
-        state = env.init_state()
+        # The global model lives as one packed row for the whole run:
+        # broadcast payload, aggregation result and evaluation input are
+        # all the same buffer — no state dict on the round loop.
+        vector = env.layout.pack(env.init_state())
         m = env.federation.n_clients
         mean_acc, per_client = float("nan"), np.full(m, np.nan)
 
         for round_index in range(1, n_rounds + 1):
             t0 = time.perf_counter()
             participants = self._participants(env, round_index, self.client_fraction)
-            state, mean_loss, _ = fedavg_round(
-                env, state, participants, round_index, prox_mu=self.prox_mu
+            vector, mean_loss, _ = fedavg_round_flat(
+                env, vector, participants, round_index, prox_mu=self.prox_mu
             )
             is_last = round_index == n_rounds
             if is_last or round_index % eval_every == 0:
                 # Grouped eval: the one global model is loaded once and
                 # every client's test split shares the fused batches.
-                mean_acc, per_client = env.evaluate_assignment(
-                    [state], np.zeros(m, dtype=np.int64)
+                mean_acc, per_client = env.evaluate_packed(
+                    vector, np.zeros(m, dtype=np.int64)
                 )
             history.append(
                 RoundRecord(

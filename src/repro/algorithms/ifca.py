@@ -19,7 +19,6 @@ from repro.algorithms.base import (
     FLAlgorithm,
     RunResult,
     cohort_matrix,
-    evaluate_assignment,
 )
 from repro.fl.aggregation import packed_weighted_average
 from repro.fl.eval_flat import fused_evaluate
@@ -27,7 +26,6 @@ from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.parallel import UpdateTask
 from repro.fl.simulation import FederatedEnv
 from repro.nn.models import build_model
-from repro.nn.state_flat import unpack_state
 from repro.utils.rng import rng_for
 from repro.utils.validation import check_positive
 
@@ -59,8 +57,14 @@ class IFCA(FLAlgorithm):
         self.assignment_batches = assignment_batches
 
     # ------------------------------------------------------------------
-    def _initial_states(self, env: FederatedEnv) -> list[dict[str, np.ndarray]]:
-        """k independently-initialised cluster models (IFCA's random init)."""
+    def _initial_states(self, env: FederatedEnv) -> list[np.ndarray]:
+        """k independently-initialised cluster models as packed rows.
+
+        IFCA's cluster models live on the flat plane for the whole run:
+        the k× broadcast ships the rows (the layout's wire encoding over
+        transport), assignment probing loads them via ``load_flat``, and
+        aggregation writes rows back — the state-dict hop is gone.
+        """
         states = []
         for j in range(self.n_clusters):
             model = build_model(
@@ -70,19 +74,17 @@ class IFCA(FLAlgorithm):
                 rng_for(env.seed, _IFCA_INIT_TAG, j),
                 **env.model_kwargs,
             )
-            states.append(model.state_dict(copy=True))
+            states.append(env.layout.pack(model.state_dict(copy=False)))
         return states
 
-    def _assign(
-        self, env: FederatedEnv, states: list[dict[str, np.ndarray]]
-    ) -> np.ndarray:
+    def _assign(self, env: FederatedEnv, states: list[np.ndarray]) -> np.ndarray:
         """Each client picks the cluster model with lowest local loss.
 
         Fused on the flat plane's eval path: each of the ``k`` candidate
-        models is loaded once and probed against *all* clients' capped
-        train splits in shared batches (k fused sweeps instead of
-        ``k x m`` per-client loops), with per-client losses recovered by
-        segment reduction.
+        rows is loaded once (no dict materialised) and probed against
+        *all* clients' capped train splits in shared batches (k fused
+        sweeps instead of ``k x m`` per-client loops), with per-client
+        losses recovered by segment reduction.
         """
         m = env.federation.n_clients
         losses = np.zeros((m, self.n_clusters))
@@ -91,8 +93,8 @@ class IFCA(FLAlgorithm):
         for cid in range(m):
             train = env.federation.clients[cid].train
             probes.append(train if len(train) <= cap else train.subset(np.arange(cap)))
-        for j, state in enumerate(states):
-            env.scratch_model.load_state_dict(state)
+        for j, vector in enumerate(states):
+            env.scratch_model.load_flat(vector, env.layout)
             losses[:, j] = fused_evaluate(
                 env.scratch_model, probes, batch_size=env.train_cfg.eval_batch_size
             ).loss
@@ -111,10 +113,13 @@ class IFCA(FLAlgorithm):
         for round_index in range(1, n_rounds + 1):
             t0 = time.perf_counter()
             # Broadcast all k models to every client (the k× download).
+            # Task payloads are the packed rows themselves — each
+            # cluster's row object is shared by its members, so
+            # executors encode it once at the layout's wire dtype.
             env.tracker.record_download(self.n_clusters * env.n_params * m)
             labels = self._assign(env, states)
 
-            tasks = [UpdateTask(cid, states[labels[cid]]) for cid in range(m)]
+            tasks = [UpdateTask(cid, flat=states[labels[cid]]) for cid in range(m)]
             updates = env.run_updates(tasks, round_index)
             env.tracker.record_upload(env.n_params * m)
 
@@ -127,12 +132,14 @@ class IFCA(FLAlgorithm):
                 vector = packed_weighted_average(
                     cohort_matrix(env, mine), [u.n_samples for u in mine]
                 )
-                states[j] = dict(unpack_state(vector, env.layout))
+                states[j] = env.layout.round_trip(vector)
                 losses.extend(u.mean_loss for u in mine)
 
             is_last = round_index == n_rounds
             if is_last or round_index % eval_every == 0:
-                mean_acc, per_client = evaluate_assignment(env, states, labels)
+                mean_acc, per_client = env.evaluate_packed(
+                    np.stack(states), labels
+                )
             history.append(
                 RoundRecord(
                     round_index=round_index,

@@ -81,7 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rounds", type=int, default=None)
     p.add_argument("--model", default="lenet5")
     p.add_argument("--executor", default="serial",
-                   choices=["serial", "thread", "process"])
+                   choices=["serial", "thread", "process", "batched"])
     return parser
 
 

@@ -29,6 +29,13 @@ def pairwise_sqeuclidean(x: np.ndarray) -> np.ndarray:
 
     Uses the Gram-matrix expansion ``|a|² + |b|² − 2a·b`` (one BLAS call
     instead of an O(n²·d) broadcast), clamped at zero against rounding.
+    The expansion cancels catastrophically for near-identical rows far
+    from the origin (a true distance of 1e-7 between norm-4 rows drowns
+    in the norm terms and can come out exactly 0, breaking the triangle
+    inequality — found by the hypothesis suite), so pairs whose computed
+    value is within rounding noise of the norm scale are recomputed with
+    the exact difference formula; everything else keeps the single-GEMM
+    fast path.
     """
     x = np.asarray(check_array("x", x, ndim=2), dtype=np.float64)
     gram = x @ x.T
@@ -36,6 +43,17 @@ def pairwise_sqeuclidean(x: np.ndarray) -> np.ndarray:
     d2 = sq[:, None] + sq[None, :] - 2.0 * gram
     np.maximum(d2, 0.0, out=d2)
     np.fill_diagonal(d2, 0.0)
+    # Cancellation repair: |a−b|² ≲ eps·(|a|²+|b|²) is below what the
+    # expansion can resolve — recompute those pairs directly.
+    scale = sq[:, None] + sq[None, :]
+    suspect = d2 <= scale * 1e-10
+    np.fill_diagonal(suspect, False)
+    if suspect.any():
+        rows, cols = np.nonzero(suspect)
+        upper = rows < cols  # symmetric: compute each pair once
+        for i, j in zip(rows[upper], cols[upper]):
+            diff = x[i] - x[j]
+            d2[i, j] = d2[j, i] = float(diff @ diff)
     return d2
 
 

@@ -237,10 +237,13 @@ class FedClust(FLAlgorithm):
         warmup_cfg = self.config.warmup_train_cfg(original)
         updates_by_client: dict[int, object] = {}
         pending = list(range(m))
+        # Broadcast payload: the packed init row (shared by every task,
+        # so executors encode it once); no dict ships.
+        init_vector = env.layout.pack(init)
         for attempt in range(self.config.max_clustering_attempts):
             if not pending:
                 break
-            tasks = [UpdateTask(cid, init) for cid in pending]
+            tasks = [UpdateTask(cid, flat=init_vector) for cid in pending]
             env.tracker.record_download(env.n_params * len(pending), phase="clustering")
             # Distinct rng epoch per retry so failure draws are fresh.
             attempt_round = round_index + 1_000_000 * attempt

@@ -35,6 +35,7 @@ from repro.fl.evaluation import EvalResult, evaluate_model, mean_local_accuracy
 from repro.fl.failures import FaultyExecutor
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.parallel import (
+    BatchedClientExecutor,
     ProcessClientExecutor,
     SerialClientExecutor,
     ThreadClientExecutor,
@@ -43,6 +44,7 @@ from repro.fl.parallel import (
 )
 from repro.fl.sampling import full_participation, uniform_sample
 from repro.fl.simulation import FederatedEnv
+from repro.fl.train_flat import plan_cohort_schedule, supports_batched, train_cohort_flat
 
 __all__ = [
     "packed_weighted_average",
@@ -74,6 +76,7 @@ __all__ = [
     "FaultyExecutor",
     "RoundRecord",
     "RunHistory",
+    "BatchedClientExecutor",
     "ProcessClientExecutor",
     "SerialClientExecutor",
     "ThreadClientExecutor",
@@ -82,4 +85,7 @@ __all__ = [
     "full_participation",
     "uniform_sample",
     "FederatedEnv",
+    "plan_cohort_schedule",
+    "supports_batched",
+    "train_cohort_flat",
 ]

@@ -53,6 +53,7 @@ __all__ = [
     "SerialClientExecutor",
     "ThreadClientExecutor",
     "ProcessClientExecutor",
+    "BatchedClientExecutor",
     "make_executor",
 ]
 
@@ -63,13 +64,21 @@ class UpdateTask:
 
     ``state`` may be shared across tasks (the broadcast case); executors
     pack each distinct state object once.  ``flat`` short-circuits that
-    packing when the caller already holds the packed vector.
+    packing when the caller already holds the packed vector — flat-plane
+    algorithms pass only ``flat`` and leave ``state`` as ``None``.
     """
 
     client_id: int
-    state: Mapping[str, np.ndarray]
+    state: Mapping[str, np.ndarray] | None = None
     prox_mu: float = 0.0
     flat: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.state is None and self.flat is None:
+            raise ValueError(
+                f"task for client {self.client_id} needs a state dict or a "
+                f"packed flat vector"
+            )
 
 
 def _pack_tasks(
@@ -79,8 +88,17 @@ def _pack_tasks(
     memo: dict[int, np.ndarray] = {}
     vectors = []
     for task in tasks:
+        # Memoised by payload object id either way: shared states pack
+        # once, and a shared non-float64 ``flat`` converts once — the
+        # batched executor's cohort grouping relies on the conversion
+        # preserving object sharing.
         if task.flat is not None:
-            vectors.append(np.asarray(task.flat, dtype=np.float64))
+            key = id(task.flat)
+            vec = memo.get(key)
+            if vec is None:
+                vec = np.asarray(task.flat, dtype=np.float64)
+                memo[key] = vec
+            vectors.append(vec)
             continue
         key = id(task.state)
         vec = memo.get(key)
@@ -279,15 +297,79 @@ class ProcessClientExecutor:
             self._pool = None
 
 
+class BatchedClientExecutor:
+    """Train whole cohorts in lockstep on the flat plane.
+
+    Tasks are grouped by their broadcast state (the packed-vector object,
+    mirroring ``_pack_tasks``'s sharing memo) and proximal coefficient;
+    each group is one cohort for
+    :func:`repro.fl.train_flat.train_cohort_flat`, which runs the
+    cohort's local SGD with a leading client axis — same ``rng_for``
+    streams and minibatch composition as the serial path, updates equal
+    to float summation order (the parity suite gates it).
+
+    Architectures without a batched mirror (convolutional models) fall
+    back **per task** to the serial reference kernel transparently;
+    :attr:`last_dispatch` records the split so benchmarks can report the
+    fallback honestly.
+    """
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        # n_workers accepted for factory symmetry; lockstep batching is
+        # single-process by construction.
+        self.n_workers = n_workers
+        #: ("batched", n_tasks) / ("serial", n_tasks) counts of the most
+        #: recent run — the conv-fallback visibility hook.
+        self.last_dispatch: dict[str, int] = {}
+
+    def run(
+        self, env: "FederatedEnv", tasks: Sequence[UpdateTask], round_index: int
+    ) -> list[ClientUpdate]:
+        from repro.fl.train_flat import supports_batched, train_cohort_flat
+
+        vectors = _pack_tasks(env, tasks)
+        batchable = supports_batched(env.scratch_model)
+        self.last_dispatch = {"batched": 0, "serial": 0}
+        results: dict[int, ClientUpdate] = {}
+        if not batchable:
+            self.last_dispatch["serial"] = len(tasks)
+            return [
+                _run_flat(env, env.scratch_model, task, vec, round_index)
+                for task, vec in zip(tasks, vectors)
+            ]
+        # Cohorts: tasks sharing a broadcast vector and prox_mu train as
+        # one lockstep group (a group of one is still batched — results
+        # must not depend on how callers happen to share state objects).
+        groups: dict[tuple[int, float], list[int]] = {}
+        for i, (task, vec) in enumerate(zip(tasks, vectors)):
+            groups.setdefault((id(vec), task.prox_mu), []).append(i)
+        for (_, prox_mu), members in groups.items():
+            updates = train_cohort_flat(
+                env,
+                [tasks[i].client_id for i in members],
+                vectors[members[0]],
+                round_index,
+                prox_mu=prox_mu,
+            )
+            self.last_dispatch["batched"] += len(members)
+            for i, update in zip(members, updates):
+                results[i] = update
+        return [results[i] for i in range(len(tasks))]
+
+    def close(self) -> None:
+        """No resources to release."""
+
+
 _EXECUTORS = {
     "serial": SerialClientExecutor,
     "thread": ThreadClientExecutor,
     "process": ProcessClientExecutor,
+    "batched": BatchedClientExecutor,
 }
 
 
 def make_executor(kind: str, n_workers: int | None = None):
-    """Factory: ``"serial"``, ``"thread"`` or ``"process"``."""
+    """Factory: ``"serial"``, ``"thread"``, ``"process"`` or ``"batched"``."""
     if kind not in _EXECUTORS:
         raise ValueError(f"unknown executor {kind!r}; options: {sorted(_EXECUTORS)}")
     if kind == "serial":

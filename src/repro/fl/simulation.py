@@ -42,7 +42,7 @@ from repro.fl.eval_flat import (
     mean_local_accuracy_grouped,
 )
 from repro.fl.evaluation import evaluate_model
-from repro.fl.parallel import SerialClientExecutor, UpdateTask
+from repro.fl.parallel import SerialClientExecutor, UpdateTask, make_executor
 from repro.nn.models import build_model, final_linear_name
 from repro.nn.module import Sequential
 from repro.nn.state_flat import StateLayout
@@ -70,7 +70,10 @@ class FederatedEnv:
         Master seed; model init, client streams and server randomness all
         derive from it independently.
     executor:
-        Client executor (serial default; thread/process for multi-core).
+        Client executor, or an executor kind name for
+        :func:`repro.fl.parallel.make_executor` (``"serial"`` default;
+        ``"thread"``/``"process"`` for multi-core, ``"batched"`` for
+        lockstep cohort training on the flat plane).
     tracker:
         Communication tracker (new one by default).
     """
@@ -90,6 +93,8 @@ class FederatedEnv:
         self.model_kwargs = dict(model_kwargs or {})
         self.train_cfg = train_cfg or TrainConfig()
         self.seed = int(seed)
+        if isinstance(executor, str):
+            executor = make_executor(executor)
         self.executor = executor or SerialClientExecutor()
         self.tracker = tracker or CommunicationTracker()
         self.scratch_model = self.make_model()

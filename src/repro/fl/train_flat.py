@@ -1,0 +1,322 @@
+"""Batched cohort training on the flat parameter plane.
+
+The third flat-plane subsystem (after :mod:`repro.nn.state_flat` and
+:mod:`repro.fl.eval_flat`): local training for a whole cohort of clients
+that received the **same broadcast state**, executed in lockstep with a
+leading client axis instead of a per-client Python loop.
+
+Pipeline per cohort:
+
+1. **Schedule** — every client's minibatch stream is derived from the
+   *same* per-client generator the serial trainer uses
+   (``rng_for(seed, 1, round, client_id)``), drawing the same epoch
+   permutations in the same order, so batch composition is identical to
+   the serial path.  Clients with unequal dataset sizes produce ragged
+   schedules; steps are aligned epoch-major and padded to the cohort's
+   widest batch with **zero-weight rows** (a padded row contributes
+   nothing to the loss gradient, so padding never leaks into updates),
+   and clients with no batch at a lockstep position are masked out of
+   the optimiser step entirely.
+2. **Lockstep train** — one :class:`repro.nn.batched.BatchedSequential`
+   mirror of the architecture runs fused forward/backward over
+   ``(n_clients, batch, ...)`` tensors; large linear layers use the
+   factored shared-base representation (see :mod:`repro.nn.batched`),
+   small ones dense per-client planes.
+3. **Emit** — final per-client states are materialised straight into a
+   ``(n_clients, n_params)`` float64 matrix; each
+   :class:`~repro.fl.client.ClientUpdate` carries its row as ``flat``
+   and a lazy mapping view as ``state`` — no dict is built unless a
+   consumer actually asks for one.
+
+Parity contract: per-client updates match the serial trainer
+(:func:`repro.fl.client.run_client_update_flat`) to float summation
+order — same RNG streams, same minibatch composition, same SGD
+semantics — gated by ``tests/test_fl_train_flat.py`` together with a
+seeded end-to-end Table-I accuracy parity check.  Architectures without
+a batched mirror (anything convolutional) fall back to the serial
+reference kernel; see :class:`repro.fl.parallel.BatchedClientExecutor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.fl.client import ClientUpdate
+from repro.fl.config import TrainConfig
+from repro.nn.batched import (
+    BatchedCrossEntropyLoss,
+    BatchedProximalSGD,
+    BatchedSGD,
+    batchable_layers,
+    build_batched,
+    flush_cohort,
+    supports_batched,
+)
+from repro.nn.layers.linear import Linear
+from repro.nn.state_flat import LazyStateView, StateLayout
+from repro.utils.rng import rng_for
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fl.simulation import FederatedEnv
+
+__all__ = [
+    "LockstepStep",
+    "plan_cohort_schedule",
+    "select_factored_keys",
+    "train_cohort_flat",
+    "supports_batched",
+]
+
+#: rng_for namespace tag shared with the serial executors — the batched
+#: trainer must consume the *same* per-(round, client) streams.
+_CLIENT_UPDATE_TAG = 1
+
+#: Tag for the cohort-level dropout stream (models with dropout train
+#: correctly but are not bit-comparable across executors — the serial
+#: path's dropout draws come from the shared scratch model's own
+#: generator in execution order, which no parallel executor reproduces).
+_BATCHED_DROPOUT_TAG = 17
+
+#: Upper bound on total factor storage per cohort before a layer is
+#: kept dense instead (bytes).  Factors hold every step's layer input
+#: and output gradient; long local schedules would otherwise hoard
+#: memory that the dense representation bounds by construction.
+_FACTOR_BYTES_CAP = 512 * 1024 * 1024
+
+
+@dataclass
+class LockstepStep:
+    """One lockstep position: every active client's next minibatch.
+
+    ``indices[c]`` is client ``c``'s row selection into its own train
+    split (``None`` when the client has no batch here), drawn from the
+    same permutation stream the serial :class:`~repro.data.dataloader.
+    DataLoader` uses.
+    """
+
+    indices: list  # per client: np.ndarray | None
+    active: np.ndarray  # (C,) bool
+
+
+def plan_cohort_schedule(
+    sizes: Sequence[int], cfg: TrainConfig, rngs: Sequence[np.random.Generator]
+) -> tuple[list[LockstepStep], int]:
+    """Lockstep-align every client's serial minibatch schedule.
+
+    Returns ``(steps, batch_width)`` where ``batch_width`` is the widest
+    per-client batch in the cohort (``min(cfg.batch_size, n_c)`` per
+    client, exactly the serial trainer's effective batch size).  Epoch
+    permutations are drawn per client from ``rngs`` in the same order
+    the serial path draws them, and ``max_batches``/``max_steps`` caps
+    are applied per client with serial semantics (per-epoch cap; total
+    cap checked before each step).
+    """
+    n_clients = len(sizes)
+    if n_clients == 0:
+        raise ValueError("cohort must contain at least one client")
+    if any(n <= 0 for n in sizes):
+        raise ValueError("cannot train on an empty dataset")
+    batch_sizes = [min(cfg.batch_size, int(n)) for n in sizes]
+    batch_width = max(batch_sizes)
+
+    # Per client: the full (epoch-major) list of batch index arrays.
+    per_client: list[list[np.ndarray]] = []
+    for n, b, rng in zip(sizes, batch_sizes, rngs):
+        batches: list[np.ndarray] = []
+        taken = 0
+        done = False
+        for _ in range(cfg.local_epochs):
+            order = rng.permutation(int(n))
+            for batch_index, start in enumerate(range(0, int(n), b)):
+                if cfg.max_batches is not None and batch_index >= cfg.max_batches:
+                    break
+                if cfg.max_steps is not None and taken >= cfg.max_steps:
+                    done = True
+                    break
+                batches.append(order[start : start + b])
+                taken += 1
+            if done:
+                break
+        per_client.append(batches)
+
+    # Epoch-major alignment: clients consume their own batch list in
+    # order; lockstep position t serves every client that still has a
+    # t-th batch.  (Any alignment is parity-correct — client streams
+    # are independent — this one keeps epochs roughly in phase.)
+    n_steps = max(len(b) for b in per_client)
+    steps: list[LockstepStep] = []
+    for t in range(n_steps):
+        indices = [
+            batches[t] if t < len(batches) else None for batches in per_client
+        ]
+        active = np.array([idx is not None for idx in indices], dtype=bool)
+        steps.append(LockstepStep(indices=indices, active=active))
+    return steps, batch_width
+
+
+def select_factored_keys(
+    model,
+    n_clients: int,
+    n_steps: int,
+    batch_width: int,
+    factor_bytes_cap: int = _FACTOR_BYTES_CAP,
+) -> frozenset[str]:
+    """Linear weights that should use the factored representation.
+
+    A layer is factored while the accumulated rank (``steps × batch``)
+    stays below its smallest dimension — beyond that the per-step
+    corrections and final materialisation cost as much as dense
+    updates — and while the cohort's total factor storage stays under
+    ``factor_bytes_cap``.
+    """
+    named = batchable_layers(model)
+    if named is None:
+        return frozenset()
+    rank = n_steps * batch_width
+    keys: set[str] = set()
+    budget = factor_bytes_cap
+    for name, child in named:
+        if not isinstance(child, Linear):
+            continue
+        if rank > min(child.in_features, child.out_features):
+            continue
+        need = (
+            n_steps
+            * n_clients
+            * batch_width
+            * (child.in_features + child.out_features)
+            * child.weight.data.dtype.itemsize
+        )
+        if need > budget:
+            continue
+        budget -= need
+        keys.add(f"{name}.weight")
+    return frozenset(keys)
+
+
+def _gather_step(
+    datasets: Sequence[ArrayDataset],
+    step: LockstepStep,
+    batch_width: int,
+    input_shape: tuple[int, ...],
+    label_buf: np.ndarray,
+    weight_buf: np.ndarray,
+) -> np.ndarray:
+    """Materialise one lockstep batch ``(C, B, *input_shape)``.
+
+    The image tensor is freshly allocated each step — factored layers
+    retain references to layer inputs, so buffers cannot be recycled.
+    Padding rows stay zero with zero row weight.
+    """
+    c = len(datasets)
+    x = np.zeros((c, batch_width) + tuple(input_shape), dtype=np.float32)
+    label_buf[...] = 0
+    weight_buf[...] = 0.0
+    for i, idx in enumerate(step.indices):
+        if idx is None:
+            continue
+        k = len(idx)
+        x[i, :k] = datasets[i].images[idx]
+        label_buf[i, :k] = datasets[i].labels[idx]
+        weight_buf[i, :k] = 1.0 / k
+    return x
+
+
+def train_cohort_flat(
+    env: "FederatedEnv",
+    client_ids: Sequence[int],
+    incoming_flat: np.ndarray,
+    round_index: int,
+    prox_mu: float = 0.0,
+    factored_keys: frozenset[str] | None = None,
+) -> list[ClientUpdate]:
+    """Run one cohort's local training in lockstep on the flat plane.
+
+    Every client in ``client_ids`` starts from ``incoming_flat`` (one
+    packed float64 row on ``env.layout``) and trains with
+    ``env.train_cfg`` — the batched equivalent of calling
+    :func:`repro.fl.client.run_client_update_flat` per client with the
+    same ``rng_for`` streams.  Returns updates in ``client_ids`` order,
+    each carrying its packed row (``flat``) and a lazy ``state`` view.
+    """
+    cfg = env.train_cfg
+    layout: StateLayout = env.layout
+    client_ids = [int(cid) for cid in client_ids]
+    datasets = [env.federation.clients[cid].train for cid in client_ids]
+    sizes = [len(d) for d in datasets]
+    rngs = [
+        rng_for(env.seed, _CLIENT_UPDATE_TAG, round_index, cid)
+        for cid in client_ids
+    ]
+    steps, batch_width = plan_cohort_schedule(sizes, cfg, rngs)
+    n_clients = len(client_ids)
+    if factored_keys is None:
+        factored_keys = select_factored_keys(
+            env.scratch_model, n_clients, len(steps), batch_width
+        )
+
+    incoming_flat = np.asarray(incoming_flat, dtype=np.float64)
+    batched, _plane = build_batched(
+        env.scratch_model,
+        layout,
+        n_clients,
+        incoming_flat,
+        factored_keys=factored_keys,
+        dropout_rng=rng_for(env.seed, _BATCHED_DROPOUT_TAG, round_index),
+    )
+    params = batched.params()
+    if prox_mu > 0.0:
+        optimizer: BatchedSGD = BatchedProximalSGD(
+            params,
+            lr=cfg.lr,
+            mu=prox_mu,
+            momentum=cfg.momentum,
+            weight_decay=cfg.weight_decay,
+        )
+    else:
+        optimizer = BatchedSGD(
+            params,
+            lr=cfg.lr,
+            momentum=cfg.momentum,
+            weight_decay=cfg.weight_decay,
+        )
+    loss_fn = BatchedCrossEntropyLoss()
+
+    input_shape = tuple(env.federation.input_shape)
+    labels = np.zeros((n_clients, batch_width), dtype=np.int64)
+    weights = np.zeros((n_clients, batch_width), dtype=np.float32)
+    total_loss = np.zeros(n_clients, dtype=np.float64)
+    n_batches = np.zeros(n_clients, dtype=np.int64)
+
+    for step in steps:
+        x = _gather_step(
+            datasets, step, batch_width, input_shape, labels, weights
+        )
+        logits = batched.forward(x)
+        losses = loss_fn.forward(logits, labels, weights)
+        batched.backward(loss_fn.backward())
+        optimizer.step(step.active)
+        total_loss += np.where(step.active, losses, 0.0)
+        n_batches += step.active
+
+    out = np.empty((n_clients, layout.n_params), dtype=np.float64)
+    flush_cohort(batched, layout, out)
+
+    updates = []
+    for i, cid in enumerate(client_ids):
+        row = out[i]
+        updates.append(
+            ClientUpdate(
+                client_id=cid,
+                state=LazyStateView(row, layout),
+                n_samples=sizes[i],
+                mean_loss=float(total_loss[i] / n_batches[i]) if n_batches[i] else 0.0,
+                n_batches=int(n_batches[i]),
+                flat=row,
+            )
+        )
+    return updates

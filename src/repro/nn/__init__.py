@@ -7,7 +7,7 @@ FedProx proximal variant), weight initialisers, a model zoo (LeNet-5, MLP,
 VGG-style nets), and state-dict arithmetic for federated aggregation.
 """
 
-from repro.nn import functional, init, state, state_flat
+from repro.nn import batched, functional, init, state, state_flat
 from repro.nn.layers import (
     AvgPool2d,
     BatchNorm1d,
@@ -39,6 +39,7 @@ from repro.nn.models import (
 )
 from repro.nn.module import Module, Sequential
 from repro.nn.state_flat import (
+    LazyStateView,
     StateLayout,
     pack_state,
     pack_states,
@@ -56,11 +57,13 @@ from repro.nn.schedulers import (
 )
 
 __all__ = [
+    "batched",
     "functional",
     "init",
     "state",
     "state_flat",
     "StateLayout",
+    "LazyStateView",
     "pack_state",
     "pack_states",
     "unpack_keys",

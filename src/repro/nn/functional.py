@@ -63,22 +63,36 @@ def sliding_windows(
 
 
 def im2col(
-    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int
+    x: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+    out: np.ndarray | None = None,
 ) -> tuple[np.ndarray, tuple[int, int]]:
     """Lower convolution input to a 2-D matrix of flattened windows.
 
     Returns ``(cols, (out_h, out_w))`` where ``cols`` has shape
     ``(N * OH * OW, C * KH * KW)``; row ``n*OH*OW + i*OW + j`` holds the
     window of sample ``n`` centred at output position ``(i, j)``.
+    ``out`` lets callers reuse a scratch buffer of exactly that shape
+    for the one materialising copy (row-tiled convolution does).
     """
     x_padded = pad_nchw(x, padding)
     windows = sliding_windows(x_padded, kernel_h, kernel_w, stride)
     n, c, out_h, out_w = windows.shape[:4]
     # (N, OH, OW, C, KH, KW) then flatten — this is the one materialising copy.
-    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
-        n * out_h * out_w, c * kernel_h * kernel_w
+    source = windows.transpose(0, 2, 3, 1, 4, 5)
+    if out is None:
+        cols = source.reshape(n * out_h * out_w, c * kernel_h * kernel_w)
+        return cols, (out_h, out_w)
+    expected = (n * out_h * out_w, c * kernel_h * kernel_w)
+    if out.shape != expected:
+        raise ValueError(f"out has shape {out.shape}, expected {expected}")
+    np.copyto(
+        out.reshape(n, out_h, out_w, c, kernel_h, kernel_w), source
     )
-    return cols, (out_h, out_w)
+    return out, (out_h, out_w)
 
 
 def col2im(

@@ -59,6 +59,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "StateLayout",
+    "LazyStateView",
     "pack_state",
     "pack_states",
     "unpack_state",
@@ -184,6 +185,33 @@ class StateLayout:
         """
         model.load_flat(vector, self)
 
+    def round_trip(self, vector: np.ndarray) -> np.ndarray:
+        """Round a float64 vector through each key's parameter dtype.
+
+        Equivalent to ``pack_state(unpack_state(vector, self), self)``
+        without materialising the dict: the result is what a model would
+        actually hold after loading ``vector``.  Flat-plane algorithms
+        that carry aggregated float64 vectors across rounds use this to
+        stay bit-identical to the dict path, which rounds to the
+        parameter dtype at every unpack.
+        """
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.n_params,):
+            raise ValueError(
+                f"vector has shape {vector.shape}, expected ({self.n_params},)"
+            )
+        distinct = set(self.dtypes)
+        if distinct == {np.dtype(np.float64)}:
+            return vector.copy()
+        if len(distinct) == 1:
+            return vector.astype(distinct.pop()).astype(np.float64)
+        out = np.empty_like(vector)
+        for lo, hi, dtype in zip(
+            self.offsets[:-1], self.offsets[1:], self.dtypes
+        ):
+            out[lo:hi] = vector[lo:hi].astype(dtype)
+        return out
+
 
 def pack_state(
     state: Mapping[str, np.ndarray],
@@ -272,6 +300,46 @@ def unpack_state(
     ):
         out[key] = vector[lo:hi].reshape(shape).astype(dtype, copy=True)
     return out
+
+
+class LazyStateView(Mapping):
+    """A state-dict view over a packed row that unpacks on first access.
+
+    The flat plane's answer to the "last dict hop": executors and
+    trainers that hold a client's update as a packed float64 row can
+    expose the mapping API without paying :func:`unpack_state` — the
+    dict materialises only if a consumer actually iterates or indexes
+    it (compat paths, tests), and aggregation keeps reading ``flat``
+    rows directly.
+    """
+
+    __slots__ = ("_vector", "_layout", "_dict")
+
+    def __init__(self, vector: np.ndarray, layout: StateLayout) -> None:
+        self._vector = vector
+        self._layout = layout
+        self._dict: "OrderedDict[str, np.ndarray] | None" = None
+
+    def _materialize(self) -> "OrderedDict[str, np.ndarray]":
+        if self._dict is None:
+            self._dict = unpack_state(self._vector, self._layout)
+        return self._dict
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self._materialize()[key]
+
+    def __iter__(self):
+        return iter(self._layout.keys)
+
+    def __len__(self) -> int:
+        return len(self._layout.keys)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._layout._index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "materialized" if self._dict is not None else "lazy"
+        return f"LazyStateView({len(self)} keys, {status})"
 
 
 def unpack_keys(

@@ -360,14 +360,14 @@ class TestIFCAFusedAssign:
 
         env = small_env
         algo = IFCA(n_clusters=2)
-        states = algo._initial_states(env)
+        states = algo._initial_states(env)  # packed rows (flat plane)
         fused_labels = algo._assign(env, states)
 
         m = env.federation.n_clients
         cap = algo.assignment_batches * env.train_cfg.batch_size
         losses = np.zeros((m, algo.n_clusters))
         for j, state in enumerate(states):
-            env.scratch_model.load_state_dict(state)
+            env.scratch_model.load_flat(state, env.layout)
             for cid in range(m):
                 train = env.federation.clients[cid].train
                 probe = train if len(train) <= cap else train.subset(np.arange(cap))
@@ -385,7 +385,7 @@ class TestIFCAFusedAssign:
             for cid in range(m)
         ]
         for j, state in enumerate(states):
-            env.scratch_model.load_state_dict(state)
+            env.scratch_model.load_flat(state, env.layout)
             fused = fused_evaluate(
                 env.scratch_model, probes, batch_size=env.train_cfg.eval_batch_size
             )

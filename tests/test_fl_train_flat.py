@@ -1,0 +1,452 @@
+"""Batched cohort training: parity with the serial reference kernel.
+
+The contract under test (see ``repro/fl/train_flat.py``): lockstep
+batched training consumes the *same* per-(round, client) RNG streams and
+produces the *same* minibatch schedules as the serial trainer, so every
+per-client update matches the serial path to float summation order —
+for both weight representations (dense plane views and shared-base
+factored), for FedProx's anchored objective, under ragged dataset sizes
+with zero-weight padding, and end-to-end on the Table-I metric.
+Architectures without a batched mirror must route to the serial kernel
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataloader import DataLoader
+from repro.data.federation import build_federation
+from repro.fl.config import TrainConfig
+from repro.fl.parallel import (
+    BatchedClientExecutor,
+    SerialClientExecutor,
+    UpdateTask,
+    make_executor,
+)
+from repro.fl.simulation import FederatedEnv
+from repro.fl.train_flat import (
+    plan_cohort_schedule,
+    select_factored_keys,
+    supports_batched,
+    train_cohort_flat,
+)
+from repro.nn.state_flat import LazyStateView, unpack_state
+from repro.utils.rng import rng_for
+
+#: Absolute tolerance for batched-vs-serial float32-model updates.
+#: Both paths do the same arithmetic in a different association order;
+#: observed worst-case deviations are ~1e-7 per step on unit-scale
+#: weights (see BENCH_train.json's max_update_abs_diff for the 1.6M
+#: preset trajectory).
+ATOL = 5e-5
+
+
+@pytest.fixture(scope="module")
+def mlp_env_factory():
+    """Environment factory over a small ragged Dirichlet federation."""
+    federation = build_federation(
+        "cifar10",
+        n_clients=6,
+        n_samples=700,
+        seed=11,
+        partition="dirichlet",
+        alpha=0.3,
+    )
+
+    def make(train_cfg: TrainConfig, hidden=(96,), executor=None, seed=0):
+        return FederatedEnv(
+            federation,
+            model_name="mlp",
+            model_kwargs={"hidden": hidden},
+            train_cfg=train_cfg,
+            seed=seed,
+            executor=executor,
+        )
+
+    return make
+
+
+def _broadcast_tasks(env, prox_mu: float = 0.0):
+    init = env.init_state()
+    return [
+        UpdateTask(cid, init, prox_mu=prox_mu)
+        for cid in range(env.federation.n_clients)
+    ]
+
+
+def _assert_parity(serial_updates, batched_updates, atol=ATOL):
+    assert len(serial_updates) == len(batched_updates)
+    for s, b in zip(serial_updates, batched_updates):
+        assert s.client_id == b.client_id
+        assert s.n_samples == b.n_samples
+        assert s.n_batches == b.n_batches
+        np.testing.assert_allclose(b.flat, s.flat, rtol=0, atol=atol)
+        assert s.mean_loss == pytest.approx(b.mean_loss, rel=1e-4, abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# The tier-1 parity gate
+# ----------------------------------------------------------------------
+class TestBatchedSerialParity:
+    def test_per_client_updates_match_serial(self, mlp_env_factory):
+        """The headline gate: same RNG keys, same minibatch order, same
+        updates (to float64-comparison tolerance) for a ragged cohort
+        with momentum — dense and factored layers both in play."""
+        env = mlp_env_factory(
+            TrainConfig(local_epochs=2, batch_size=32, lr=0.05, momentum=0.9)
+        )
+        tasks = _broadcast_tasks(env)
+        serial = SerialClientExecutor().run(env, tasks, round_index=3)
+        batched = BatchedClientExecutor().run(env, tasks, round_index=3)
+        _assert_parity(serial, batched)
+
+    def test_factored_and_dense_modes_agree(self, mlp_env_factory):
+        """Forcing every linear weight factored vs every weight dense
+        gives the same updates — the representations are two kernels for
+        one computation."""
+        env = mlp_env_factory(
+            TrainConfig(local_epochs=1, batch_size=32, lr=0.05, momentum=0.9),
+            hidden=(128,),
+        )
+        vector = env.layout.pack(env.init_state())
+        cids = list(range(env.federation.n_clients))
+        dense = train_cohort_flat(
+            env, cids, vector, round_index=1, factored_keys=frozenset()
+        )
+        factored = train_cohort_flat(
+            env,
+            cids,
+            vector,
+            round_index=1,
+            factored_keys=frozenset({"fc1.weight", "classifier.weight"}),
+        )
+        _assert_parity(dense, factored)
+
+    def test_weight_decay_parity(self, mlp_env_factory):
+        """Weight decay bends the factored base coefficient away from 1
+        — the scalar recurrence must track the serial optimiser."""
+        env = mlp_env_factory(
+            TrainConfig(
+                local_epochs=2,
+                batch_size=32,
+                lr=0.05,
+                momentum=0.9,
+                weight_decay=1e-3,
+            )
+        )
+        tasks = _broadcast_tasks(env)
+        serial = SerialClientExecutor().run(env, tasks, round_index=1)
+        batched = BatchedClientExecutor().run(env, tasks, round_index=1)
+        _assert_parity(serial, batched)
+
+    def test_max_steps_and_max_batches_caps(self, mlp_env_factory):
+        """Serial cap semantics: per-epoch ``max_batches``, total
+        ``max_steps`` checked before each step — clients hit the caps at
+        different lockstep positions and must stop exactly where the
+        serial loop stops."""
+        for cfg in (
+            TrainConfig(local_epochs=3, batch_size=16, lr=0.05, max_steps=4),
+            TrainConfig(local_epochs=2, batch_size=16, lr=0.05, max_batches=2),
+        ):
+            env = mlp_env_factory(cfg)
+            tasks = _broadcast_tasks(env)
+            serial = SerialClientExecutor().run(env, tasks, round_index=2)
+            batched = BatchedClientExecutor().run(env, tasks, round_index=2)
+            _assert_parity(serial, batched)
+
+    def test_round_index_drives_stream(self, mlp_env_factory):
+        """Different rounds shuffle differently (same contract as the
+        serial executors)."""
+        env = mlp_env_factory(
+            TrainConfig(local_epochs=1, batch_size=32, lr=0.05, momentum=0.9)
+        )
+        tasks = _broadcast_tasks(env)
+        a = BatchedClientExecutor().run(env, tasks, round_index=1)
+        b = BatchedClientExecutor().run(env, tasks, round_index=2)
+        assert not np.allclose(a[0].flat, b[0].flat)
+
+    def test_two_broadcasts_group_into_two_cohorts(self, mlp_env_factory):
+        """Tasks carrying different incoming states train as separate
+        cohorts and still match the serial path per client."""
+        env = mlp_env_factory(
+            TrainConfig(local_epochs=1, batch_size=32, lr=0.05, momentum=0.9)
+        )
+        init = env.init_state()
+        other = {k: v + np.float32(0.01) for k, v in init.items()}
+        tasks = [
+            UpdateTask(cid, init if cid % 2 == 0 else other)
+            for cid in range(env.federation.n_clients)
+        ]
+        serial = SerialClientExecutor().run(env, tasks, round_index=1)
+        batched = BatchedClientExecutor().run(env, tasks, round_index=1)
+        _assert_parity(serial, batched)
+
+
+# ----------------------------------------------------------------------
+# Ragged cohorts: padding must not leak
+# ----------------------------------------------------------------------
+class TestRaggedPadding:
+    def test_padded_client_update_unaffected_by_cohort(self, mlp_env_factory):
+        """A small client's update is the same whether it trains alone
+        (no padding) or inside a cohort of larger clients (its batches
+        padded to the cohort width with zero-weight rows)."""
+        env = mlp_env_factory(
+            TrainConfig(local_epochs=2, batch_size=32, lr=0.05, momentum=0.9)
+        )
+        sizes = [len(c.train) for c in env.federation.clients]
+        small = int(np.argmin(sizes))
+        assert sizes[small] < max(sizes), "fixture must be ragged"
+        vector = env.layout.pack(env.init_state())
+        alone = train_cohort_flat(env, [small], vector, round_index=1)
+        cohort = train_cohort_flat(
+            env, list(range(env.federation.n_clients)), vector, round_index=1
+        )
+        np.testing.assert_allclose(
+            cohort[small].flat, alone[0].flat, rtol=0, atol=1e-6
+        )
+        assert cohort[small].n_batches == alone[0].n_batches
+        assert cohort[small].mean_loss == pytest.approx(
+            alone[0].mean_loss, rel=1e-5
+        )
+
+    def test_schedule_matches_dataloader_batches(self, mlp_env_factory):
+        """plan_cohort_schedule reproduces the serial DataLoader's batch
+        composition exactly: same permutations, same slicing, same
+        effective batch size ``min(batch_size, n)``."""
+        env = mlp_env_factory(
+            TrainConfig(local_epochs=2, batch_size=32, lr=0.05, momentum=0.9)
+        )
+        cfg = env.train_cfg
+        sizes = [len(c.train) for c in env.federation.clients]
+        rngs = [rng_for(env.seed, 1, 5, cid) for cid in range(len(sizes))]
+        steps, width = plan_cohort_schedule(sizes, cfg, rngs)
+        assert width == min(cfg.batch_size, max(sizes))
+        for cid, dataset in enumerate(
+            c.train for c in env.federation.clients
+        ):
+            loader = DataLoader(
+                dataset,
+                min(cfg.batch_size, len(dataset)),
+                rng=rng_for(env.seed, 1, 5, cid),
+                shuffle=True,
+            )
+            serial_batches = []
+            for _ in range(cfg.local_epochs):
+                for images, labels in loader:
+                    serial_batches.append((images, labels))
+            mine = [s.indices[cid] for s in steps if s.indices[cid] is not None]
+            assert len(mine) == len(serial_batches)
+            for idx, (images, labels) in zip(mine, serial_batches):
+                np.testing.assert_array_equal(dataset.images[idx], images)
+                np.testing.assert_array_equal(dataset.labels[idx], labels)
+
+    def test_empty_dataset_raises(self, mlp_env_factory):
+        env = mlp_env_factory(TrainConfig(local_epochs=1, batch_size=8, lr=0.1))
+        with pytest.raises(ValueError, match="empty dataset"):
+            plan_cohort_schedule([32, 0], env.train_cfg, [None, None])
+
+
+# ----------------------------------------------------------------------
+# FedProx on the batched plane
+# ----------------------------------------------------------------------
+class TestFedProxAnchor:
+    def test_proximal_updates_match_serial(self, mlp_env_factory):
+        """The batched proximal term anchors on the shared broadcast —
+        exactly what ProximalSGD.set_anchor_flat gives the serial path."""
+        env = mlp_env_factory(
+            TrainConfig(local_epochs=2, batch_size=32, lr=0.05, momentum=0.9)
+        )
+        tasks = _broadcast_tasks(env, prox_mu=0.5)
+        serial = SerialClientExecutor().run(env, tasks, round_index=1)
+        batched = BatchedClientExecutor().run(env, tasks, round_index=1)
+        _assert_parity(serial, batched)
+
+    def test_proximal_pull_shrinks_drift(self, mlp_env_factory):
+        """Sanity on semantics, not just parity: a large mu keeps the
+        batched updates closer to the broadcast than mu = 0 does."""
+        env = mlp_env_factory(
+            TrainConfig(local_epochs=2, batch_size=32, lr=0.05, momentum=0.9)
+        )
+        vector = env.layout.pack(env.init_state())
+        cids = list(range(env.federation.n_clients))
+        free = train_cohort_flat(env, cids, vector, round_index=1, prox_mu=0.0)
+        pulled = train_cohort_flat(env, cids, vector, round_index=1, prox_mu=5.0)
+        drift_free = np.linalg.norm(np.stack([u.flat for u in free]) - vector)
+        drift_pulled = np.linalg.norm(np.stack([u.flat for u in pulled]) - vector)
+        assert drift_pulled < drift_free
+
+
+# ----------------------------------------------------------------------
+# Routing: conv models fall back to the serial kernel
+# ----------------------------------------------------------------------
+class TestConvFallback:
+    def test_conv_model_routes_serial_and_is_bit_identical(self, small_env):
+        assert not supports_batched(small_env.scratch_model)
+        tasks = _broadcast_tasks(small_env)
+        serial = SerialClientExecutor().run(small_env, tasks, round_index=1)
+        executor = BatchedClientExecutor()
+        routed = executor.run(small_env, tasks, round_index=1)
+        assert executor.last_dispatch == {
+            "batched": 0,
+            "serial": small_env.federation.n_clients,
+        }
+        for s, r in zip(serial, routed):
+            np.testing.assert_array_equal(s.flat, r.flat)
+
+    def test_mlp_model_routes_batched(self, mlp_env_factory):
+        env = mlp_env_factory(
+            TrainConfig(local_epochs=1, batch_size=32, lr=0.05, momentum=0.9)
+        )
+        assert supports_batched(env.scratch_model)
+        executor = BatchedClientExecutor()
+        executor.run(env, _broadcast_tasks(env), round_index=1)
+        assert executor.last_dispatch == {
+            "batched": env.federation.n_clients,
+            "serial": 0,
+        }
+
+    def test_make_executor_knows_batched(self):
+        assert isinstance(make_executor("batched"), BatchedClientExecutor)
+
+
+# ----------------------------------------------------------------------
+# Representation selection and lazy update states
+# ----------------------------------------------------------------------
+class TestRepresentationPlumbing:
+    def test_factored_selection_respects_rank_bound(self, mlp_env_factory):
+        env = mlp_env_factory(
+            TrainConfig(local_epochs=1, batch_size=32, lr=0.05), hidden=(128,)
+        )
+        # rank 32 < 128: hidden layer factored; classifier (10 outputs)
+        # always dense.
+        keys = select_factored_keys(env.scratch_model, 6, 1, 32)
+        assert "fc1.weight" in keys
+        assert "classifier.weight" not in keys
+        # rank beyond the hidden width: nothing factored.
+        assert select_factored_keys(env.scratch_model, 6, 10, 32) == frozenset()
+
+    def test_updates_carry_lazy_state_views(self, mlp_env_factory):
+        env = mlp_env_factory(
+            TrainConfig(local_epochs=1, batch_size=32, lr=0.05, momentum=0.9)
+        )
+        vector = env.layout.pack(env.init_state())
+        (update,) = train_cohort_flat(env, [0], vector, round_index=1)
+        assert isinstance(update.state, LazyStateView)
+        # Key iteration must not unpack...
+        assert list(update.state) == list(env.layout.keys)
+        assert update.state._dict is None
+        # ...value access materialises once and matches the flat row.
+        expected = unpack_state(update.flat, env.layout)
+        for key in expected:
+            np.testing.assert_array_equal(update.state[key], expected[key])
+
+    def test_lazy_state_loads_into_model(self, mlp_env_factory):
+        env = mlp_env_factory(
+            TrainConfig(local_epochs=1, batch_size=32, lr=0.05, momentum=0.9)
+        )
+        vector = env.layout.pack(env.init_state())
+        (update,) = train_cohort_flat(env, [1], vector, round_index=1)
+        env.scratch_model.load_state_dict(dict(update.state))
+        repacked = env.layout.pack(env.scratch_model.state_dict(copy=False))
+        np.testing.assert_array_equal(repacked, update.flat)
+
+
+class TestBatchedDropout:
+    def test_inverted_dropout_scaling_and_backward(self):
+        from repro.nn.batched import BatchedDropout
+
+        rng = np.random.default_rng(3)
+        layer = BatchedDropout(0.25, np.random.default_rng(0))
+        x = rng.standard_normal((2, 4, 8)).astype(np.float32)
+        y = layer.forward(x)
+        kept = y != 0
+        # Inverted scaling: surviving entries are x / keep_prob.
+        np.testing.assert_allclose(y[kept], (x / 0.75)[kept], rtol=1e-6)
+        go = np.ones_like(x)
+        gi = layer.backward(go)
+        np.testing.assert_array_equal(gi != 0, kept)
+
+    def test_zero_p_is_identity(self):
+        from repro.nn.batched import BatchedDropout
+
+        layer = BatchedDropout(0.0, np.random.default_rng(0))
+        x = np.ones((1, 2, 3), dtype=np.float32)
+        assert layer.forward(x) is x
+        go = np.full_like(x, 2.0)
+        assert layer.backward(go) is go
+
+    def test_builder_requires_dropout_rng(self):
+        from repro.nn.batched import build_batched
+        from repro.nn.layers import Dropout, Flatten, Linear, ReLU
+        from repro.nn.module import Sequential
+        from repro.nn.state_flat import StateLayout
+
+        rng = np.random.default_rng(0)
+        model = Sequential(
+            ("flatten", Flatten()),
+            ("fc1", Linear(12, 8, rng)),
+            ("act1", ReLU()),
+            ("drop", Dropout(0.5, rng)),
+            ("classifier", Linear(8, 4, rng)),
+        ).finalize_names()
+        layout = StateLayout.from_model(model)
+        broadcast = layout.pack(model.state_dict(copy=False))
+        with pytest.raises(ValueError, match="dropout_rng"):
+            build_batched(model, layout, 3, broadcast)
+        batched, _ = build_batched(
+            model, layout, 3, broadcast, dropout_rng=np.random.default_rng(1)
+        )
+        out = batched.forward(np.ones((3, 5, 12), dtype=np.float32))
+        assert out.shape == (3, 5, 4)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the Table-I metric is executor-invariant on a seeded config
+# ----------------------------------------------------------------------
+class TestTableOneParity:
+    def _accuracies(self, executor_kind: str, algorithm):
+        federation = build_federation(
+            "cifar10",
+            n_clients=8,
+            n_samples=800,
+            seed=5,
+            partition="label_cluster",
+        )
+        env = FederatedEnv(
+            federation,
+            model_name="mlp",
+            model_kwargs={"hidden": (96,)},
+            train_cfg=TrainConfig(
+                local_epochs=2, batch_size=32, lr=0.05, momentum=0.9
+            ),
+            seed=2,
+            executor=executor_kind,
+        )
+        result = algorithm().run(env, n_rounds=3)
+        return result.final_accuracy, result.per_client_accuracy
+
+    def test_fedavg_accuracy_identical_across_executors(self):
+        """The seeded Table-I gate: per-client accuracies from the
+        batched executor equal the serial ones exactly (updates differ
+        at float32 round-off; no argmax flips on this seeded config —
+        any real regression flips many)."""
+        from repro.algorithms.fedavg import FedAvg
+
+        serial_mean, serial_acc = self._accuracies("serial", FedAvg)
+        batched_mean, batched_acc = self._accuracies("batched", FedAvg)
+        np.testing.assert_array_equal(serial_acc, batched_acc)
+        assert serial_mean == batched_mean
+
+    def test_ifca_accuracy_identical_across_executors(self):
+        from repro.algorithms.ifca import IFCA
+
+        serial_mean, serial_acc = self._accuracies(
+            "serial", lambda: IFCA(n_clusters=2)
+        )
+        batched_mean, batched_acc = self._accuracies(
+            "batched", lambda: IFCA(n_clusters=2)
+        )
+        np.testing.assert_array_equal(serial_acc, batched_acc)
+        assert serial_mean == batched_mean
