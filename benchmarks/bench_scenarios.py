@@ -1,0 +1,190 @@
+"""Round-engine overhead benchmark (``BENCH_scenarios.json``).
+
+The engine refactor replaced the hand-rolled per-algorithm round loops
+(PR 3 era) with one shared server loop plus scenario middleware
+(:mod:`repro.fl.rounds`).  The middleware must be free when unused:
+this benchmark times a full FedAvg training run two ways —
+
+* **baseline**: an inline replica of the pre-engine FedAvg loop over
+  the surviving primitive (:func:`repro.algorithms.base.fedavg_round_flat`
+  + ``evaluate_packed`` on the same cadence);
+* **engine**: :class:`repro.fl.rounds.RoundEngine` driving
+  :class:`repro.algorithms.base.GlobalModelRounds` under the default
+  scenario —
+
+and pins the overhead **< 2 %** (wall-clock on this box is noisy;
+medians over several full runs).  Both paths produce bit-identical
+final vectors (recorded as ``bit_identical``).
+
+In practice the engine measures *faster* than the legacy loop shape:
+the old loop's ``vector, loss, _ = fedavg_round_flat(...)`` binding
+kept the previous round's 64 full updates (state dicts + flat rows)
+alive across the next round's cohort ``np.stack``, so the ~200 MB
+cohort allocation always hit first-touch page faults; the engine
+rebinds its dispatch result before aggregating, the allocator reuses
+the warm arena, and the stack runs ~2× faster (profiled: identical
+per-op times everywhere else).  The negative ``overhead_pct`` is that
+buffer-lifetime win, not a measurement artefact — it is stable across
+fresh processes.
+
+A second record exercises the scenario path that did not exist before
+the engine: C = 0.2 partial participation, with the engine's sampled
+run checked bit-for-bit against an inline ``uniform_sample`` +
+``fedavg_round_flat`` loop (the sampling semantics FedAvg's historical
+``_participants`` used).
+
+Run via ``python benchmarks/bench_scenarios.py`` or ``scripts/bench.sh``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:  # package import (pytest) vs script import (scripts/bench.sh)
+    from benchmarks.bench_eval import _federation_env
+except ImportError:  # pragma: no cover - script entry point
+    from bench_eval import _federation_env
+
+from repro.algorithms.base import GlobalModelRounds, fedavg_round_flat
+from repro.fl.config import TrainConfig
+from repro.fl.history import RunHistory
+from repro.fl.rounds import RoundEngine, ScenarioConfig
+from repro.fl.sampling import uniform_sample
+
+OVERHEAD_GATE_PCT = 2.0
+
+
+def _median_ms(fn, reps: int, warmup: int = 1) -> float:
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - t0) * 1e3)
+    return float(np.median(samples))
+
+
+def _make_env(n_clients: int, samples_per_client: int, local_epochs: int):
+    # mlp(128) (~395k params) keeps the per-round cohort stack at
+    # ~200 MB: large enough that training dominates, small enough that
+    # allocator effects do not drown the orchestration signal.
+    env = _federation_env(
+        n_clients, samples_per_client, model_name="mlp", model_kwargs={"hidden": (128,)}
+    )
+    env.train_cfg = TrainConfig(local_epochs=local_epochs, batch_size=32)
+    return env
+
+
+def _baseline_run(env, n_rounds: int, fraction: float = 1.0) -> np.ndarray:
+    """Inline replica of the pre-engine FedAvg loop (PR 3 shape)."""
+    m = env.federation.n_clients
+    labels = np.zeros(m, dtype=np.int64)
+    vector = env.layout.pack(env.init_state())
+    for round_index in range(1, n_rounds + 1):
+        if fraction >= 1.0:
+            participants = np.arange(m)
+        else:
+            participants = uniform_sample(m, fraction, env.server_rng(round_index))
+        vector, _, _ = fedavg_round_flat(env, vector, participants, round_index)
+        env.evaluate_packed(vector, labels)
+    return vector
+
+
+def _engine_run(env, n_rounds: int, fraction: float = 1.0) -> np.ndarray:
+    strategy = GlobalModelRounds(env.layout.pack(env.init_state()))
+    engine = RoundEngine(env, ScenarioConfig(client_fraction=fraction))
+    engine.run(strategy, n_rounds, RunHistory("bench", "synthetic", 0))
+    return strategy.vector
+
+
+def run_engine_overhead(
+    n_clients: int = 64,
+    samples_per_client: int = 40,
+    local_epochs: int = 1,
+    n_rounds: int = 3,
+    reps: int = 5,
+) -> dict:
+    """Full-run timing: engine loop vs inline PR 3-style loop."""
+    env = _make_env(n_clients, samples_per_client, local_epochs)
+    baseline_ms = _median_ms(lambda: _baseline_run(env, n_rounds), reps=reps)
+    engine_ms = _median_ms(lambda: _engine_run(env, n_rounds), reps=reps)
+    overhead_pct = 100.0 * (engine_ms - baseline_ms) / baseline_ms
+    identical = bool(
+        np.array_equal(_baseline_run(env, n_rounds), _engine_run(env, n_rounds))
+    )
+    return {
+        "n_clients": n_clients,
+        "n_params": env.n_params,
+        "local_epochs": local_epochs,
+        "n_rounds": n_rounds,
+        "baseline_ms": round(baseline_ms, 3),
+        "engine_ms": round(engine_ms, 3),
+        "overhead_pct": round(overhead_pct, 3),
+        "overhead_gate_pct": OVERHEAD_GATE_PCT,
+        "bit_identical": identical,
+    }
+
+
+def run_partial_participation(
+    n_clients: int = 64,
+    samples_per_client: int = 40,
+    local_epochs: int = 1,
+    n_rounds: int = 3,
+    fraction: float = 0.2,
+    reps: int = 3,
+) -> dict:
+    """The C = 0.2 scenario row: engine vs inline sampled loop."""
+    env = _make_env(n_clients, samples_per_client, local_epochs)
+    baseline_ms = _median_ms(
+        lambda: _baseline_run(env, n_rounds, fraction), reps=reps
+    )
+    engine_ms = _median_ms(lambda: _engine_run(env, n_rounds, fraction), reps=reps)
+    identical = bool(
+        np.array_equal(
+            _baseline_run(env, n_rounds, fraction),
+            _engine_run(env, n_rounds, fraction),
+        )
+    )
+    return {
+        "client_fraction": fraction,
+        "participants_per_round": int(round(fraction * n_clients)),
+        "n_clients": n_clients,
+        "n_rounds": n_rounds,
+        "baseline_ms": round(baseline_ms, 3),
+        "engine_ms": round(engine_ms, 3),
+        "bit_identical": identical,
+    }
+
+
+if __name__ == "__main__":
+    import sys
+
+    target = (
+        Path(sys.argv[1])
+        if len(sys.argv) > 1
+        else Path(__file__).resolve().parent.parent / "BENCH_scenarios.json"
+    )
+    result = {
+        "benchmark": (
+            "round engine vs pre-engine inline loops: orchestration overhead "
+            "at 64 clients (default scenario) and the C=0.2 sampled scenario"
+        )
+    }
+    headline = run_engine_overhead()
+    result["headline"] = headline
+    result["partial_participation_c02"] = run_partial_participation()
+    Path(target).write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    print(f"wrote {target}")
+    if not headline["bit_identical"]:
+        raise SystemExit("engine run diverged from the baseline loop")
+    if headline["overhead_pct"] >= OVERHEAD_GATE_PCT:
+        raise SystemExit(
+            f"engine overhead {headline['overhead_pct']}% exceeds the "
+            f"{OVERHEAD_GATE_PCT}% gate"
+        )

@@ -1,24 +1,81 @@
 #!/usr/bin/env python3
 """Heterogeneity sweep: when does clustering help? (paper's future work)
 
-Sweeps the Dirichlet concentration α from severe label skew (0.05) to
-near-IID (100) and compares FedClust against FedAvg at each level,
-printing a small text chart.  The expected picture: a large FedClust
-advantage under severe skew that shrinks toward zero as data becomes
-IID — clustered FL is a heterogeneity tool, not a universal win.
+Two sweeps over the same question from two directions:
+
+* **statistical** heterogeneity — the Dirichlet concentration α from
+  severe label skew (0.05) to near-IID (100), FedClust vs FedAvg at
+  each level.  The expected picture: a large FedClust advantage under
+  severe skew that shrinks toward zero as data becomes IID — clustered
+  FL is a heterogeneity tool, not a universal win.
+* **system** heterogeneity — participation fraction C and seeded client
+  failures, routed through the round engine's ``ScenarioConfig`` (the
+  same policy object every algorithm accepts).  This shows how the
+  Table-I ordering degrades when clients sit out rounds or go dark
+  mid-round.
 
 Run:
     python examples/heterogeneity_sweep.py
     python examples/heterogeneity_sweep.py --alphas 0.05 0.5 5
+    python examples/heterogeneity_sweep.py --skip-alpha   # scenarios only
 """
 
 from __future__ import annotations
 
 import argparse
 
+from repro.data.federation import build_federation
 from repro.experiments.ablations import run_alpha_sweep
-from repro.experiments.presets import get_scale
+from repro.experiments.presets import algorithm_kwargs, get_scale
+from repro.fl.rounds import ScenarioConfig
+from repro.fl.simulation import FederatedEnv
 from repro.utils.logging import enable_console_logging
+
+#: (label, ScenarioConfig) cells for the system-heterogeneity sweep.
+SCENARIOS = [
+    ("C=1.0, reliable", ScenarioConfig()),
+    ("C=0.5, reliable", ScenarioConfig(client_fraction=0.5)),
+    ("C=1.0, 20% fail", ScenarioConfig(failure_rate=0.2)),
+    ("C=0.5, 20% fail", ScenarioConfig(client_fraction=0.5, failure_rate=0.2)),
+    (
+        "C=0.5, 20% fail, 20% late",
+        ScenarioConfig(client_fraction=0.5, failure_rate=0.2, straggler_rate=0.2),
+    ),
+]
+
+
+def run_scenario_sweep(dataset: str, alpha: float, seed: int, scale) -> list[tuple]:
+    """FedAvg vs FedClust across participation/failure scenarios."""
+    from repro.algorithms.registry import make_algorithm
+
+    federation = build_federation(
+        dataset,
+        n_clients=scale.n_clients,
+        n_samples=scale.n_samples,
+        seed=seed,
+        partition="dirichlet",
+        alpha=alpha,
+    )
+    rows = []
+    for label, scenario in SCENARIOS:
+        cell = {}
+        for method in ("fedavg", "fedclust"):
+            env = FederatedEnv(
+                federation,
+                model_name="lenet5",
+                train_cfg=scale.train,
+                seed=seed,
+            )
+            algo = make_algorithm(method, **algorithm_kwargs(method, scale))
+            result = algo.run(
+                env,
+                n_rounds=scale.n_rounds,
+                eval_every=scale.eval_every,
+                scenario=scenario,
+            )
+            cell[method] = result.final_accuracy
+        rows.append((label, cell["fedavg"], cell["fedclust"]))
+    return rows
 
 
 def bar(value: float, width: int = 40) -> str:
@@ -32,27 +89,46 @@ def main() -> None:
                         default=[0.05, 0.1, 0.5, 1.0, 100.0])
     parser.add_argument("--dataset", default="cifar10")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scenario-alpha", type=float, default=0.1,
+                        help="Dirichlet alpha held fixed in the scenario sweep")
+    parser.add_argument("--skip-alpha", action="store_true",
+                        help="run only the participation/failure sweep")
+    parser.add_argument("--skip-scenarios", action="store_true",
+                        help="run only the alpha sweep")
     args = parser.parse_args()
     enable_console_logging()
+    scale = get_scale("quick")
 
-    result = run_alpha_sweep(
-        alphas=tuple(args.alphas),
-        dataset=args.dataset,
-        scale=get_scale("quick"),
-        seed=args.seed,
-    )
-    print()
-    print(result.format())
-    print("\naccuracy bars (F = FedAvg, C = FedClust):")
-    for i, alpha in enumerate(result.alphas):
-        print(f"alpha={alpha:<6g} F |{bar(result.fedavg[i])}| "
-              f"{100 * result.fedavg[i]:.1f}")
-        print(f"{'':12} C |{bar(result.fedclust[i])}| "
-              f"{100 * result.fedclust[i]:.1f}  (k={result.fedclust_k[i]})")
-    gains = [c - a for a, c in zip(result.fedavg, result.fedclust)]
-    print(f"\nFedClust advantage: {100 * gains[0]:+.1f} points at "
-          f"alpha={result.alphas[0]:g} -> {100 * gains[-1]:+.1f} points at "
-          f"alpha={result.alphas[-1]:g}")
+    if not args.skip_alpha:
+        result = run_alpha_sweep(
+            alphas=tuple(args.alphas),
+            dataset=args.dataset,
+            scale=scale,
+            seed=args.seed,
+        )
+        print()
+        print(result.format())
+        print("\naccuracy bars (F = FedAvg, C = FedClust):")
+        for i, alpha in enumerate(result.alphas):
+            print(f"alpha={alpha:<6g} F |{bar(result.fedavg[i])}| "
+                  f"{100 * result.fedavg[i]:.1f}")
+            print(f"{'':12} C |{bar(result.fedclust[i])}| "
+                  f"{100 * result.fedclust[i]:.1f}  (k={result.fedclust_k[i]})")
+        gains = [c - a for a, c in zip(result.fedavg, result.fedclust)]
+        print(f"\nFedClust advantage: {100 * gains[0]:+.1f} points at "
+              f"alpha={result.alphas[0]:g} -> {100 * gains[-1]:+.1f} points at "
+              f"alpha={result.alphas[-1]:g}")
+
+    if not args.skip_scenarios:
+        print(f"\nsystem-heterogeneity sweep (alpha={args.scenario_alpha:g}, "
+              f"seeded scenarios through the round engine):")
+        rows = run_scenario_sweep(
+            args.dataset, args.scenario_alpha, args.seed, scale
+        )
+        width = max(len(label) for label, _, _ in rows)
+        for label, fedavg_acc, fedclust_acc in rows:
+            print(f"{label:<{width}}  F |{bar(fedavg_acc)}| {100 * fedavg_acc:.1f}")
+            print(f"{'':{width}}  C |{bar(fedclust_acc)}| {100 * fedclust_acc:.1f}")
 
 
 if __name__ == "__main__":

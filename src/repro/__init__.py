@@ -44,7 +44,9 @@ from repro.data import ArrayDataset, Federation, build_federation, make_dataset
 from repro.fl import (
     CommunicationTracker,
     FederatedEnv,
+    RoundEngine,
     RunHistory,
+    ScenarioConfig,
     TrainConfig,
     make_executor,
 )
@@ -70,7 +72,9 @@ __all__ = [
     "make_dataset",
     "CommunicationTracker",
     "FederatedEnv",
+    "RoundEngine",
     "RunHistory",
+    "ScenarioConfig",
     "TrainConfig",
     "make_executor",
     "__version__",

@@ -1,7 +1,9 @@
 """Baseline federated-learning algorithms (Table I comparators)."""
 
 from repro.algorithms.base import (
+    ClusteredRounds,
     FLAlgorithm,
+    GlobalModelRounds,
     RunResult,
     evaluate_assignment,
     fedavg_round,
@@ -22,7 +24,9 @@ from repro.algorithms.registry import (
 )
 
 __all__ = [
+    "ClusteredRounds",
     "FLAlgorithm",
+    "GlobalModelRounds",
     "RunResult",
     "evaluate_assignment",
     "fedavg_round",

@@ -2,42 +2,76 @@
 
 Every method in the paper's Table I — FedAvg, FedProx, CFL, IFCA, PACFL
 and FedClust — is a strategy object with a single entry point,
-``run(env, n_rounds)``.  The helpers here implement the two recurring
-building blocks so each algorithm file only contains what is genuinely
-different about it:
+``run(env, n_rounds)``.  Since the round-engine refactor the per-round
+lifecycle (participant selection, broadcast, dispatch, failure and
+straggler injection, aggregation over survivors, evaluation cadence,
+history logging) lives once in :class:`repro.fl.rounds.RoundEngine`;
+this module contributes the building blocks the algorithms plug into it:
 
-* :func:`fedavg_round` — broadcast a state to a member set, train
-  locally, aggregate by sample count, account the traffic;
-* :func:`run_clustered_training` — the per-cluster FedAvg loop that
-  one-shot methods (FedClust, PACFL) enter after clustering.
+* :class:`GlobalModelRounds` — the single-global-model strategy
+  (FedAvg/FedProx);
+* :class:`ClusteredRounds` — per-cluster FedAvg over a packed
+  ``(n_clusters, n_params)`` matrix, used by the one-shot methods
+  (FedClust, PACFL) after clustering;
+* :func:`fedavg_round` / :func:`fedavg_round_flat` — the one-round
+  primitive, kept as the reference kernel for external callers, tests
+  and the engine-overhead benchmark.
 """
 
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.fl.aggregation import packed_weighted_average
-from repro.fl.history import RoundRecord, RunHistory
+from repro.fl.client import ClientUpdate
+from repro.fl.history import RunHistory
 from repro.fl.parallel import UpdateTask
-from repro.fl.sampling import full_participation, uniform_sample
+from repro.fl.rounds import RoundEngine, RoundStrategy, ScenarioConfig
 from repro.fl.simulation import FederatedEnv
 from repro.nn.state_flat import unpack_state
 
 __all__ = [
     "RunResult",
     "FLAlgorithm",
+    "GlobalModelRounds",
+    "ClusteredRounds",
     "fedavg_round",
     "fedavg_round_flat",
     "cohort_matrix",
     "states_for_clients",
+    "tasks_for_groups",
     "evaluate_assignment",
     "run_clustered_training",
 ]
+
+
+def tasks_for_groups(
+    n_clients: int,
+    participants: np.ndarray,
+    groups: Sequence[tuple[np.ndarray, Sequence[int]]],
+) -> list[UpdateTask]:
+    """Broadcast tasks for participating members of packed-row groups.
+
+    ``groups`` is ``(row, members)`` per server model.  Each group's
+    participants share the row *object* as their payload — the invariant
+    executors rely on to encode a broadcast once and the batched
+    executor relies on to form one lockstep cohort per group.  Task
+    order is group-major, members ascending: the order the historical
+    per-cluster dispatch produced, which keeps per-cluster aggregation
+    summation bit-identical.
+    """
+    present = np.zeros(n_clients, dtype=bool)
+    present[participants] = True
+    tasks: list[UpdateTask] = []
+    for row, members in groups:
+        tasks.extend(
+            UpdateTask(int(cid), flat=row) for cid in members if present[cid]
+        )
+    return tasks
 
 
 def cohort_matrix(env: FederatedEnv, updates: Sequence) -> np.ndarray:
@@ -86,27 +120,151 @@ class FLAlgorithm(abc.ABC):
     name: str = "abstract"
 
     @abc.abstractmethod
-    def run(self, env: FederatedEnv, n_rounds: int, eval_every: int = 1) -> RunResult:
+    def run(
+        self,
+        env: FederatedEnv,
+        n_rounds: int,
+        eval_every: int = 1,
+        scenario: ScenarioConfig | None = None,
+    ) -> RunResult:
         """Train for ``n_rounds`` communication rounds on ``env``.
 
         ``eval_every`` throttles the (per-client) evaluation pass; the
-        final round is always evaluated.
+        final round is always evaluated.  ``scenario`` sets the
+        system-heterogeneity policy (participation fraction, failures,
+        stragglers, arrivals); ``None`` is the paper-scale default —
+        every client, every round.
         """
 
-    def _participants(
-        self, env: FederatedEnv, round_index: int, fraction: float
-    ) -> np.ndarray:
-        """Sample this round's participants (full participation if 1.0)."""
-        if fraction >= 1.0:
-            return full_participation(env.federation.n_clients)
-        return uniform_sample(
-            env.federation.n_clients, fraction, env.server_rng(round_index)
-        )
+    def _scenario(self, scenario: ScenarioConfig | None) -> ScenarioConfig:
+        """Resolve the effective scenario (default: full participation)."""
+        return scenario if scenario is not None else ScenarioConfig()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
 
 
+# ----------------------------------------------------------------------
+# Shared strategies
+# ----------------------------------------------------------------------
+class GlobalModelRounds(RoundStrategy):
+    """One global model as a packed row: FedAvg's (and FedProx's) round.
+
+    The broadcast payload, the aggregation result and the evaluation
+    input are all the same buffer — no state dict on the round loop.
+    """
+
+    name = "global"
+
+    def __init__(self, vector: np.ndarray, prox_mu: float = 0.0) -> None:
+        self.vector = np.asarray(vector, dtype=np.float64)
+        self.prox_mu = prox_mu
+
+    def broadcast_for(
+        self, engine: RoundEngine, round_index: int, participants: np.ndarray
+    ) -> list[UpdateTask]:
+        return [
+            UpdateTask(int(cid), flat=self.vector, prox_mu=self.prox_mu)
+            for cid in participants
+        ]
+
+    def aggregate(
+        self, engine: RoundEngine, round_index: int, survivors: list[ClientUpdate]
+    ) -> float:
+        if not survivors:
+            return float("nan")
+        env = engine.env
+        # One GEMV over the stacked survivor updates; weights
+        # renormalise over whoever made the deadline.
+        new_vector = packed_weighted_average(
+            cohort_matrix(env, survivors), [u.n_samples for u in survivors]
+        )
+        self.vector = env.layout.round_trip(new_vector)
+        return float(np.mean([u.mean_loss for u in survivors]))
+
+    def evaluate(
+        self, engine: RoundEngine, round_index: int
+    ) -> tuple[float, np.ndarray]:
+        env = engine.env
+        # Grouped eval: the one global model is loaded once and every
+        # client's test split shares the fused batches.
+        return env.evaluate_packed(
+            self.vector,
+            np.zeros(env.federation.n_clients, dtype=np.int64),
+        )
+
+
+class ClusteredRounds(RoundStrategy):
+    """Per-cluster FedAvg over one packed ``(n_clusters, n_params)`` matrix.
+
+    Broadcasts are row payloads (each cluster's participants share the
+    row object, so executors encode it once and the batched executor
+    trains the cluster as one lockstep cohort), aggregation writes rows
+    back, and evaluation consumes the matrix directly.  A cluster with
+    no surviving participants this round keeps its model.
+    """
+
+    name = "clustered"
+
+    def __init__(self, matrix: np.ndarray, labels: np.ndarray) -> None:
+        self.matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+        self.labels = np.asarray(labels).copy()
+        self._rebuild_members()
+
+    def _rebuild_members(self) -> None:
+        self.members_of = [
+            np.flatnonzero(self.labels == g) for g in range(len(self.matrix))
+        ]
+
+    def set_label(self, client_id: int, cluster: int) -> None:
+        """Re-route one client (newcomer onboarding, straggler rescue)."""
+        if not 0 <= cluster < len(self.matrix):
+            raise ValueError(
+                f"cluster {cluster} outside [0, {len(self.matrix)})"
+            )
+        self.labels[client_id] = cluster
+        self._rebuild_members()
+
+    def broadcast_for(
+        self, engine: RoundEngine, round_index: int, participants: np.ndarray
+    ) -> list[UpdateTask]:
+        return tasks_for_groups(
+            engine.env.federation.n_clients,
+            participants,
+            [(self.matrix[g], members) for g, members in enumerate(self.members_of)],
+        )
+
+    def aggregate(
+        self, engine: RoundEngine, round_index: int, survivors: list[ClientUpdate]
+    ) -> float:
+        if not survivors:
+            return float("nan")
+        env = engine.env
+        losses = []
+        for g in range(len(self.matrix)):
+            mine = [u for u in survivors if self.labels[u.client_id] == g]
+            if not mine:
+                continue  # cluster went dark this round: keep its model
+            new_vector = packed_weighted_average(
+                cohort_matrix(env, mine), [u.n_samples for u in mine]
+            )
+            self.matrix[g] = env.layout.round_trip(new_vector)
+            losses.append(float(np.mean([u.mean_loss for u in mine])))
+        return float(np.mean(losses)) if losses else float("nan")
+
+    def evaluate(
+        self, engine: RoundEngine, round_index: int
+    ) -> tuple[float, np.ndarray]:
+        return engine.env.evaluate_packed(self.matrix, self.labels)
+
+    def current_n_clusters(self) -> int:
+        return len(self.matrix)
+
+
+# ----------------------------------------------------------------------
+# One-round primitives (reference kernels; the engine composes these
+# same pieces with scenario middleware in between)
+# ----------------------------------------------------------------------
 def fedavg_round_flat(
     env: FederatedEnv,
     vector: np.ndarray,
@@ -159,7 +317,7 @@ def fedavg_round(
     numbers are identical to the historical dict implementation (packing
     is exact and the flat round rounds its output through the parameter
     dtypes).  Kept for external callers; the in-tree algorithms ride the
-    flat version directly.
+    engine.
     """
     vector, mean_loss, updates = fedavg_round_flat(
         env,
@@ -207,57 +365,35 @@ def run_clustered_training(
     first_round: int,
     eval_every: int = 1,
     client_fraction: float = 1.0,
+    scenario: ScenarioConfig | None = None,
+    engine: RoundEngine | None = None,
 ) -> tuple[list[dict[str, np.ndarray]], float, np.ndarray]:
     """Per-cluster FedAvg for rounds ``first_round .. first_round+n_rounds-1``.
 
-    Used by the one-shot methods after their clustering step.  Returns the
-    final cluster states and the last evaluation (mean, per-client vector).
+    Used by the one-shot methods after their clustering step; a thin
+    wrapper that runs :class:`ClusteredRounds` on the round engine.
+    Returns the final cluster states and the last evaluation (mean,
+    per-client vector).  The dict states in ``cluster_states`` are
+    packed once on entry and unpacked once on return — numbers match
+    the historical per-round dict cycle exactly.
 
-    Internally the cluster models live as rows of one packed
-    ``(n_clusters, n_params)`` matrix: broadcasts are row payloads,
-    aggregation writes rows back, and evaluation consumes the matrix
-    directly (:meth:`FederatedEnv.evaluate_packed`).  The dict states in
-    ``cluster_states`` are packed once on entry and unpacked once on
-    return — numbers match the historical per-round dict cycle exactly.
+    ``client_fraction`` is legacy sugar for
+    ``ScenarioConfig(client_fraction=...)``; an explicit ``scenario``
+    (or a ready ``engine``) takes precedence.  Sampling is engine-level
+    — a fraction of all clients per round, not a fraction of each
+    cluster — so a small cluster can sit a round out entirely (it then
+    keeps its model).
     """
-    labels = np.asarray(labels)
-    n_clusters = len(cluster_states)
-    members_of = [np.flatnonzero(labels == g) for g in range(n_clusters)]
-    mean_acc, per_client = float("nan"), np.full(env.federation.n_clients, np.nan)
+    if engine is None:
+        if scenario is None:
+            scenario = ScenarioConfig(client_fraction=client_fraction)
+        engine = RoundEngine(env, scenario)
     matrix = np.stack([env.layout.pack(state) for state in cluster_states])
-
-    for offset in range(n_rounds):
-        round_index = first_round + offset
-        t0 = time.perf_counter()
-        losses = []
-        rng = env.server_rng(round_index)
-        for g in range(n_clusters):
-            members = members_of[g]
-            if len(members) == 0:
-                continue
-            if client_fraction < 1.0 and len(members) > 1:
-                n_pick = max(1, int(round(client_fraction * len(members))))
-                members = np.sort(rng.choice(members, size=n_pick, replace=False))
-            new_vector, loss, _ = fedavg_round_flat(
-                env, matrix[g], members, round_index
-            )
-            matrix[g] = new_vector
-            losses.append(loss)
-
-        is_last = offset == n_rounds - 1
-        if is_last or (round_index % eval_every == 0):
-            mean_acc, per_client = env.evaluate_packed(matrix, labels)
-        history.append(
-            RoundRecord(
-                round_index=round_index,
-                mean_train_loss=float(np.mean(losses)) if losses else float("nan"),
-                mean_local_accuracy=mean_acc,
-                n_participants=int(sum(len(m) for m in members_of)),
-                n_clusters=n_clusters,
-                uploaded_params=env.tracker.total_uploaded,
-                downloaded_params=env.tracker.total_downloaded,
-                wall_seconds=time.perf_counter() - t0,
-            )
-        )
-    cluster_states = [dict(unpack_state(row, env.layout)) for row in matrix]
-    return cluster_states, mean_acc, per_client
+    strategy = ClusteredRounds(matrix, np.asarray(labels))
+    mean_acc, per_client = engine.run(
+        strategy, n_rounds, history, first_round=first_round, eval_every=eval_every
+    )
+    final_states = [
+        dict(unpack_state(row, env.layout)) for row in strategy.matrix
+    ]
+    return final_states, mean_acc, per_client

@@ -24,11 +24,15 @@ Implementation notes
 * Every round ships **full model updates** for every client, which is
   what makes CFL's communication cost high next to FedClust's one-shot
   partial-weight clustering (Table I / C1 experiment).
+* Under scenario policy (partial participation / failures / stragglers)
+  a cluster only *considers* splitting in rounds where every member's
+  update made the deadline — a bipartition over a partial cohort would
+  leave the absentees unassignable.  Aggregation still renormalises
+  over whatever subset survived.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -37,11 +41,15 @@ from repro.algorithms.base import (
     FLAlgorithm,
     RunResult,
     cohort_matrix,
-    fedavg_round_flat,
+    tasks_for_groups,
 )
 from repro.cluster.distance import pairwise_cosine_distance
 from repro.cluster.hierarchy import cut_by_k, linkage
-from repro.fl.history import RoundRecord, RunHistory
+from repro.fl.aggregation import packed_weighted_average
+from repro.fl.client import ClientUpdate
+from repro.fl.history import RunHistory
+from repro.fl.parallel import UpdateTask
+from repro.fl.rounds import RoundEngine, RoundStrategy, ScenarioConfig
 from repro.fl.simulation import FederatedEnv
 from repro.utils.validation import check_in, check_positive
 
@@ -62,6 +70,111 @@ class _Cluster:
     members: np.ndarray
     scale0: float | None = None  # first-round max update norm
     history_of_splits: list[int] = field(default_factory=list)
+
+
+class _CFLRounds(RoundStrategy):
+    """Per-cluster FedAvg plus the recursive bipartition test."""
+
+    name = "cfl"
+
+    def __init__(self, algo: "CFL", clusters: list[_Cluster]) -> None:
+        self.algo = algo
+        self.clusters = clusters
+
+    def broadcast_for(
+        self, engine: RoundEngine, round_index: int, participants: np.ndarray
+    ) -> list[UpdateTask]:
+        return tasks_for_groups(
+            engine.env.federation.n_clients,
+            participants,
+            [(cluster.state, cluster.members) for cluster in self.clusters],
+        )
+
+    def aggregate(
+        self, engine: RoundEngine, round_index: int, survivors: list[ClientUpdate]
+    ) -> float:
+        if not survivors:
+            return float("nan")
+        env = engine.env
+        algo = self.algo
+        by_client = {u.client_id: u for u in survivors}
+        losses = []
+        next_clusters: list[_Cluster] = []
+        for cluster in self.clusters:
+            mine = [by_client[cid] for cid in cluster.members if cid in by_client]
+            if not mine:
+                next_clusters.append(cluster)  # dark cluster keeps its model
+                continue
+            incoming = cluster.state
+            cohort = cohort_matrix(env, mine)
+            new_state = env.layout.round_trip(
+                packed_weighted_average(cohort, [u.n_samples for u in mine])
+            )
+            losses.append(float(np.mean([u.mean_loss for u in mine])))
+            # Update vectors Δ_i = local − incoming on the flat plane:
+            # one row-broadcast subtraction over the round's packed
+            # cohort instead of a per-key dict loop.  The subtraction
+            # happens in float64 (pack embeds float32 exactly), where
+            # the dict path subtracted in float32 first — norms and
+            # split margins agree to float32 round-off; the parity test
+            # pins the split decisions.
+            deltas = cohort - incoming
+            weights = np.array([u.n_samples for u in mine], dtype=np.float64)
+            weights /= weights.sum()
+            mean_norm = float(np.linalg.norm(weights @ deltas))
+            norms = np.linalg.norm(deltas, axis=1)
+            max_norm = float(norms.max())
+            # Splits (and the scale₀ baseline the relative criterion
+            # compares against) need the full cohort: with absentees the
+            # max-norm is taken over a subset — a missing client could
+            # have carried the largest delta — and a bipartition would
+            # leave the absentees on neither side.
+            full_house = len(mine) == len(cluster.members)
+            if cluster.scale0 is None and full_house:
+                cluster.scale0 = max_norm
+
+            if full_house and algo._should_split(
+                cluster, mean_norm, max_norm, round_index
+            ):
+                left, right = algo._bipartition(deltas)
+                if (
+                    len(left) >= algo.min_cluster_size
+                    and len(right) >= algo.min_cluster_size
+                ):
+                    for side in (left, right):
+                        next_clusters.append(
+                            _Cluster(
+                                state=new_state.copy(),
+                                members=cluster.members[side],
+                                scale0=cluster.scale0,
+                                history_of_splits=cluster.history_of_splits
+                                + [round_index],
+                            )
+                        )
+                    continue
+            cluster.state = new_state
+            next_clusters.append(cluster)
+        self.clusters = next_clusters
+        return float(np.mean(losses))
+
+    def evaluate(
+        self, engine: RoundEngine, round_index: int
+    ) -> tuple[float, np.ndarray]:
+        env = engine.env
+        return env.evaluate_packed(
+            np.stack([c.state for c in self.clusters]),
+            self.labels(env.federation.n_clients),
+        )
+
+    def current_n_clusters(self) -> int:
+        return len(self.clusters)
+
+    def labels(self, m: int) -> np.ndarray:
+        labels = np.full(m, -1, dtype=np.int64)
+        for g, cluster in enumerate(self.clusters):
+            labels[cluster.members] = g
+        assert (labels >= 0).all(), "every client must belong to a cluster"
+        return labels
 
 
 class CFL(FLAlgorithm):
@@ -128,83 +241,26 @@ class CFL(FLAlgorithm):
         return np.flatnonzero(labels == 0), np.flatnonzero(labels == 1)
 
     # ------------------------------------------------------------------
-    def run(self, env: FederatedEnv, n_rounds: int, eval_every: int = 1) -> RunResult:
+    def run(
+        self,
+        env: FederatedEnv,
+        n_rounds: int,
+        eval_every: int = 1,
+        scenario: ScenarioConfig | None = None,
+    ) -> RunResult:
         if n_rounds < 1:
             raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
         m = env.federation.n_clients
         history = RunHistory(self.name, env.federation.dataset_name, env.seed)
-        clusters: list[_Cluster] = [
-            _Cluster(state=env.layout.pack(env.init_state()), members=np.arange(m))
-        ]
-        mean_acc, per_client = float("nan"), np.full(m, np.nan)
-
-        for round_index in range(1, n_rounds + 1):
-            t0 = time.perf_counter()
-            losses = []
-            next_clusters: list[_Cluster] = []
-            for cluster in clusters:
-                incoming = cluster.state
-                new_state, loss, updates = fedavg_round_flat(
-                    env, incoming, cluster.members, round_index
-                )
-                losses.append(loss)
-                # Update vectors Δ_i = local − incoming on the flat
-                # plane: one row-broadcast subtraction over the round's
-                # packed cohort instead of a per-key dict loop.  The
-                # subtraction happens in float64 (pack embeds float32
-                # exactly), where the dict path subtracted in float32
-                # first — norms and split margins agree to float32
-                # round-off; the parity test pins the split decisions.
-                deltas = cohort_matrix(env, updates) - incoming
-                weights = np.array([u.n_samples for u in updates], dtype=np.float64)
-                weights /= weights.sum()
-                mean_norm = float(np.linalg.norm(weights @ deltas))
-                norms = np.linalg.norm(deltas, axis=1)
-                max_norm = float(norms.max())
-                if cluster.scale0 is None:
-                    cluster.scale0 = max_norm
-
-                if self._should_split(cluster, mean_norm, max_norm, round_index):
-                    left, right = self._bipartition(deltas)
-                    if (
-                        len(left) >= self.min_cluster_size
-                        and len(right) >= self.min_cluster_size
-                    ):
-                        for side in (left, right):
-                            next_clusters.append(
-                                _Cluster(
-                                    state=new_state.copy(),
-                                    members=cluster.members[side],
-                                    scale0=cluster.scale0,
-                                    history_of_splits=cluster.history_of_splits
-                                    + [round_index],
-                                )
-                            )
-                        continue
-                cluster.state = new_state
-                next_clusters.append(cluster)
-            clusters = next_clusters
-
-            labels = self._labels(clusters, m)
-            is_last = round_index == n_rounds
-            if is_last or round_index % eval_every == 0:
-                mean_acc, per_client = env.evaluate_packed(
-                    np.stack([c.state for c in clusters]), labels
-                )
-            history.append(
-                RoundRecord(
-                    round_index=round_index,
-                    mean_train_loss=float(np.mean(losses)),
-                    mean_local_accuracy=mean_acc,
-                    n_participants=m,
-                    n_clusters=len(clusters),
-                    uploaded_params=env.tracker.total_uploaded,
-                    downloaded_params=env.tracker.total_downloaded,
-                    wall_seconds=time.perf_counter() - t0,
-                )
-            )
-
-        labels = self._labels(clusters, m)
+        strategy = _CFLRounds(
+            self,
+            [_Cluster(state=env.layout.pack(env.init_state()), members=np.arange(m))],
+        )
+        engine = RoundEngine(env, self._scenario(scenario))
+        mean_acc, per_client = engine.run(
+            strategy, n_rounds, history, eval_every=eval_every
+        )
+        labels = strategy.labels(m)
         return RunResult(
             history=history,
             final_accuracy=mean_acc,
@@ -214,15 +270,7 @@ class CFL(FLAlgorithm):
             comm=env.tracker.by_phase() | {"total": env.tracker.snapshot()},
             extras={
                 "split_rounds": sorted(
-                    {r for c in clusters for r in c.history_of_splits}
+                    {r for c in strategy.clusters for r in c.history_of_splits}
                 )
             },
         )
-
-    @staticmethod
-    def _labels(clusters: list[_Cluster], m: int) -> np.ndarray:
-        labels = np.full(m, -1, dtype=np.int64)
-        for g, cluster in enumerate(clusters):
-            labels[cluster.members] = g
-        assert (labels >= 0).all(), "every client must belong to a cluster"
-        return labels

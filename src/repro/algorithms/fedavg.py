@@ -5,16 +5,20 @@ server averages the results weighted by local sample count (Eq. 1 of the
 FedClust paper).  Under severe label skew the single global model fits
 no client's distribution well — the failure mode every clustered method
 in Table I is built to fix.
+
+The per-round lifecycle lives in :class:`repro.fl.rounds.RoundEngine`;
+FedAvg is the engine driving :class:`repro.algorithms.base.GlobalModelRounds`.
 """
 
 from __future__ import annotations
 
-import time
+import dataclasses
 
 import numpy as np
 
-from repro.algorithms.base import FLAlgorithm, RunResult, fedavg_round_flat
-from repro.fl.history import RoundRecord, RunHistory
+from repro.algorithms.base import FLAlgorithm, GlobalModelRounds, RunResult
+from repro.fl.history import RunHistory
+from repro.fl.rounds import RoundEngine, ScenarioConfig
 from repro.fl.simulation import FederatedEnv
 from repro.utils.validation import check_fraction
 
@@ -28,7 +32,11 @@ class FedAvg(FLAlgorithm):
     ----------
     client_fraction:
         Fraction ``C`` of clients sampled per round (1.0 = full
-        participation, the paper-scale default).
+        participation, the paper-scale default).  Legacy sugar for
+        ``ScenarioConfig(client_fraction=...)``: a ``scenario`` passed
+        to :meth:`run` that leaves participation at its default merges
+        with this value; setting a *different* fraction in both places
+        is a loud configuration error.
     """
 
     name = "fedavg"
@@ -39,43 +47,47 @@ class FedAvg(FLAlgorithm):
     #: Proximal coefficient; 0 for FedAvg, overridden by FedProx.
     prox_mu: float = 0.0
 
-    def run(self, env: FederatedEnv, n_rounds: int, eval_every: int = 1) -> RunResult:
+    def _scenario(self, scenario: ScenarioConfig | None) -> ScenarioConfig:
+        if scenario is None:
+            return ScenarioConfig(client_fraction=self.client_fraction)
+        if self.client_fraction >= 1.0:
+            return scenario
+        if scenario.client_fraction >= 1.0:
+            # A scenario that leaves participation at its default merges
+            # with the constructor fraction — adding failure injection
+            # must not silently revert a configured C to 1.0.
+            return dataclasses.replace(
+                scenario, client_fraction=self.client_fraction
+            )
+        if scenario.client_fraction != self.client_fraction:
+            raise ValueError(
+                f"conflicting client fractions: constructor set "
+                f"{self.client_fraction}, scenario set "
+                f"{scenario.client_fraction} — configure it in one place"
+            )
+        return scenario
+
+    def run(
+        self,
+        env: FederatedEnv,
+        n_rounds: int,
+        eval_every: int = 1,
+        scenario: ScenarioConfig | None = None,
+    ) -> RunResult:
         if n_rounds < 1:
             raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
         history = RunHistory(self.name, env.federation.dataset_name, env.seed)
         # The global model lives as one packed row for the whole run:
         # broadcast payload, aggregation result and evaluation input are
         # all the same buffer — no state dict on the round loop.
-        vector = env.layout.pack(env.init_state())
+        strategy = GlobalModelRounds(
+            env.layout.pack(env.init_state()), prox_mu=self.prox_mu
+        )
+        engine = RoundEngine(env, self._scenario(scenario))
+        mean_acc, per_client = engine.run(
+            strategy, n_rounds, history, eval_every=eval_every
+        )
         m = env.federation.n_clients
-        mean_acc, per_client = float("nan"), np.full(m, np.nan)
-
-        for round_index in range(1, n_rounds + 1):
-            t0 = time.perf_counter()
-            participants = self._participants(env, round_index, self.client_fraction)
-            vector, mean_loss, _ = fedavg_round_flat(
-                env, vector, participants, round_index, prox_mu=self.prox_mu
-            )
-            is_last = round_index == n_rounds
-            if is_last or round_index % eval_every == 0:
-                # Grouped eval: the one global model is loaded once and
-                # every client's test split shares the fused batches.
-                mean_acc, per_client = env.evaluate_packed(
-                    vector, np.zeros(m, dtype=np.int64)
-                )
-            history.append(
-                RoundRecord(
-                    round_index=round_index,
-                    mean_train_loss=mean_loss,
-                    mean_local_accuracy=mean_acc,
-                    n_participants=len(participants),
-                    n_clusters=1,
-                    uploaded_params=env.tracker.total_uploaded,
-                    downloaded_params=env.tracker.total_downloaded,
-                    wall_seconds=time.perf_counter() - t0,
-                )
-            )
-
         return RunResult(
             history=history,
             final_accuracy=mean_acc,
@@ -83,4 +95,5 @@ class FedAvg(FLAlgorithm):
             per_client_accuracy=per_client,
             cluster_labels=np.zeros(m, dtype=np.int64),
             comm=env.tracker.by_phase() | {"total": env.tracker.snapshot()},
+            extras={"drop_log": engine.drop_log, "straggler_log": engine.straggler_log},
         )

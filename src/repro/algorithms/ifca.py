@@ -3,15 +3,18 @@ NeurIPS 2020).
 
 The server maintains ``k`` cluster models (``k`` **predefined** — the
 paper's first criticism of existing CFL).  Every round it broadcasts all
-``k`` models to every participant; each client evaluates its local
+``k`` models to every participant; each participant evaluates its local
 training loss under each and adopts the argmin, trains that model
 locally, and the server aggregates per cluster.  The ``k×`` download is
 IFCA's characteristic communication overhead (the C1 experiment).
+
+Under partial participation only the round's participants re-probe
+their assignment; everyone else keeps the label from the last round
+they participated in (evaluation always serves each client its current
+label's model).
 """
 
 from __future__ import annotations
-
-import time
 
 import numpy as np
 
@@ -21,9 +24,11 @@ from repro.algorithms.base import (
     cohort_matrix,
 )
 from repro.fl.aggregation import packed_weighted_average
+from repro.fl.client import ClientUpdate
 from repro.fl.eval_flat import fused_evaluate
-from repro.fl.history import RoundRecord, RunHistory
+from repro.fl.history import RunHistory
 from repro.fl.parallel import UpdateTask
+from repro.fl.rounds import RoundEngine, RoundStrategy, ScenarioConfig
 from repro.fl.simulation import FederatedEnv
 from repro.nn.models import build_model
 from repro.utils.rng import rng_for
@@ -32,6 +37,62 @@ from repro.utils.validation import check_positive
 __all__ = ["IFCA"]
 
 _IFCA_INIT_TAG = 7
+
+
+class _IFCARounds(RoundStrategy):
+    """k packed cluster rows + per-client loss-argmin assignment."""
+
+    name = "ifca"
+
+    def __init__(self, algo: "IFCA", env: FederatedEnv, states: list[np.ndarray]) -> None:
+        self.algo = algo
+        self.states = states
+        self.labels = np.zeros(env.federation.n_clients, dtype=np.int64)
+
+    def broadcast_for(
+        self, engine: RoundEngine, round_index: int, participants: np.ndarray
+    ) -> list[UpdateTask]:
+        env = engine.env
+        # Broadcast all k models to every participant (the k× download;
+        # the engine charges the 1× baseline in dispatch, the k−1 extra
+        # probe copies are recorded here).  Task payloads are the packed
+        # rows themselves — each cluster's row object is shared by its
+        # members, so executors encode it once at the layout's wire dtype.
+        extra = (self.algo.n_clusters - 1) * env.n_params * len(participants)
+        if extra:
+            env.tracker.record_download(extra, engine.phase)
+        self.labels[participants] = self.algo._assign(env, self.states, participants)
+        return [
+            UpdateTask(int(cid), flat=self.states[self.labels[cid]])
+            for cid in participants
+        ]
+
+    def aggregate(
+        self, engine: RoundEngine, round_index: int, survivors: list[ClientUpdate]
+    ) -> float:
+        if not survivors:
+            return float("nan")
+        env = engine.env
+        losses = []
+        for j in range(self.algo.n_clusters):
+            mine = [u for u in survivors if self.labels[u.client_id] == j]
+            if not mine:
+                continue  # empty cluster keeps its previous model
+            # Per-cluster FedAvg on the flat plane: row-gather + GEMV.
+            vector = packed_weighted_average(
+                cohort_matrix(env, mine), [u.n_samples for u in mine]
+            )
+            self.states[j] = env.layout.round_trip(vector)
+            losses.extend(u.mean_loss for u in mine)
+        return float(np.mean(losses))
+
+    def evaluate(
+        self, engine: RoundEngine, round_index: int
+    ) -> tuple[float, np.ndarray]:
+        return engine.env.evaluate_packed(np.stack(self.states), self.labels)
+
+    def current_n_clusters(self) -> int:
+        return len(np.unique(self.labels))
 
 
 class IFCA(FLAlgorithm):
@@ -77,21 +138,25 @@ class IFCA(FLAlgorithm):
             states.append(env.layout.pack(model.state_dict(copy=False)))
         return states
 
-    def _assign(self, env: FederatedEnv, states: list[np.ndarray]) -> np.ndarray:
-        """Each client picks the cluster model with lowest local loss.
+    def _assign(
+        self,
+        env: FederatedEnv,
+        states: list[np.ndarray],
+        clients: np.ndarray,
+    ) -> np.ndarray:
+        """Each probed client picks the cluster model with lowest local loss.
 
         Fused on the flat plane's eval path: each of the ``k`` candidate
         rows is loaded once (no dict materialised) and probed against
-        *all* clients' capped train splits in shared batches (k fused
-        sweeps instead of ``k x m`` per-client loops), with per-client
-        losses recovered by segment reduction.
+        the probed clients' capped train splits in shared batches (k
+        fused sweeps instead of ``k × m`` per-client loops), with
+        per-client losses recovered by segment reduction.
         """
-        m = env.federation.n_clients
-        losses = np.zeros((m, self.n_clusters))
+        losses = np.zeros((len(clients), self.n_clusters))
         cap = self.assignment_batches * env.train_cfg.batch_size
         probes = []
-        for cid in range(m):
-            train = env.federation.clients[cid].train
+        for cid in clients:
+            train = env.federation.clients[int(cid)].train
             probes.append(train if len(train) <= cap else train.subset(np.arange(cap)))
         for j, vector in enumerate(states):
             env.scratch_model.load_flat(vector, env.layout)
@@ -101,64 +166,27 @@ class IFCA(FLAlgorithm):
         return losses.argmin(axis=1)
 
     # ------------------------------------------------------------------
-    def run(self, env: FederatedEnv, n_rounds: int, eval_every: int = 1) -> RunResult:
+    def run(
+        self,
+        env: FederatedEnv,
+        n_rounds: int,
+        eval_every: int = 1,
+        scenario: ScenarioConfig | None = None,
+    ) -> RunResult:
         if n_rounds < 1:
             raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
-        m = env.federation.n_clients
         history = RunHistory(self.name, env.federation.dataset_name, env.seed)
-        states = self._initial_states(env)
-        labels = np.zeros(m, dtype=np.int64)
-        mean_acc, per_client = float("nan"), np.full(m, np.nan)
-
-        for round_index in range(1, n_rounds + 1):
-            t0 = time.perf_counter()
-            # Broadcast all k models to every client (the k× download).
-            # Task payloads are the packed rows themselves — each
-            # cluster's row object is shared by its members, so
-            # executors encode it once at the layout's wire dtype.
-            env.tracker.record_download(self.n_clusters * env.n_params * m)
-            labels = self._assign(env, states)
-
-            tasks = [UpdateTask(cid, flat=states[labels[cid]]) for cid in range(m)]
-            updates = env.run_updates(tasks, round_index)
-            env.tracker.record_upload(env.n_params * m)
-
-            losses = []
-            for j in range(self.n_clusters):
-                mine = [u for u in updates if labels[u.client_id] == j]
-                if not mine:
-                    continue  # empty cluster keeps its previous model
-                # Per-cluster FedAvg on the flat plane: row-gather + GEMV.
-                vector = packed_weighted_average(
-                    cohort_matrix(env, mine), [u.n_samples for u in mine]
-                )
-                states[j] = env.layout.round_trip(vector)
-                losses.extend(u.mean_loss for u in mine)
-
-            is_last = round_index == n_rounds
-            if is_last or round_index % eval_every == 0:
-                mean_acc, per_client = env.evaluate_packed(
-                    np.stack(states), labels
-                )
-            history.append(
-                RoundRecord(
-                    round_index=round_index,
-                    mean_train_loss=float(np.mean(losses)),
-                    mean_local_accuracy=mean_acc,
-                    n_participants=m,
-                    n_clusters=len(np.unique(labels)),
-                    uploaded_params=env.tracker.total_uploaded,
-                    downloaded_params=env.tracker.total_downloaded,
-                    wall_seconds=time.perf_counter() - t0,
-                )
-            )
-
+        strategy = _IFCARounds(self, env, self._initial_states(env))
+        engine = RoundEngine(env, self._scenario(scenario))
+        mean_acc, per_client = engine.run(
+            strategy, n_rounds, history, eval_every=eval_every
+        )
         return RunResult(
             history=history,
             final_accuracy=mean_acc,
             accuracy_std=float(np.std(per_client)),
             per_client_accuracy=per_client,
-            cluster_labels=labels,
+            cluster_labels=strategy.labels,
             comm=env.tracker.by_phase() | {"total": env.tracker.snapshot()},
             extras={"k": self.n_clusters},
         )

@@ -7,20 +7,63 @@ where it beats *both* the single global model (FedAvg) and pure
 personalisation (this baseline).  Under severe label skew with tiny
 local datasets, local-only overfits; clustering wins by pooling
 same-distribution clients.
+
+Runs through the shared round engine like everything else — scenario
+policy (participation, failures, stragglers) composes here too: a
+client that fails or misses the deadline simply keeps last round's
+weights — but with ``charges_communication = False``, so the engine
+skips the per-round traffic accounting (nothing crosses the network).
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.algorithms.base import FLAlgorithm, RunResult
-from repro.fl.history import RoundRecord, RunHistory
+from repro.fl.client import ClientUpdate
+from repro.fl.history import RunHistory
 from repro.fl.parallel import UpdateTask
+from repro.fl.rounds import RoundEngine, RoundStrategy, ScenarioConfig
 from repro.fl.simulation import FederatedEnv
 
 __all__ = ["LocalOnly"]
+
+
+class _LocalRounds(RoundStrategy):
+    """Each client trains its own persistent state; no aggregation."""
+
+    name = "local_only"
+    charges_communication = False
+
+    def __init__(self, env: FederatedEnv) -> None:
+        # Every client starts from the shared init (fair comparison) and
+        # keeps its own weights forever after.
+        self.states = [env.init_state() for _ in range(env.federation.n_clients)]
+
+    def broadcast_for(
+        self, engine: RoundEngine, round_index: int, participants: np.ndarray
+    ) -> list[UpdateTask]:
+        return [UpdateTask(int(cid), self.states[cid]) for cid in participants]
+
+    def aggregate(
+        self, engine: RoundEngine, round_index: int, survivors: list[ClientUpdate]
+    ) -> float:
+        if not survivors:
+            return float("nan")
+        for update in survivors:
+            self.states[update.client_id] = dict(update.state)
+        return float(np.mean([u.mean_loss for u in survivors]))
+
+    def evaluate(
+        self, engine: RoundEngine, round_index: int
+    ) -> tuple[float, np.ndarray]:
+        # Worst case for grouped eval — every client has its own model,
+        # so identity-dedup finds m singleton groups and the compat view
+        # degenerates to the per-client loop.
+        return engine.env.mean_local_accuracy(self.states)
+
+    def current_n_clusters(self) -> int:
+        return len(self.states)  # every client is its own island
 
 
 class LocalOnly(FLAlgorithm):
@@ -28,47 +71,22 @@ class LocalOnly(FLAlgorithm):
 
     name = "local_only"
 
-    def run(self, env: FederatedEnv, n_rounds: int, eval_every: int = 1) -> RunResult:
+    def run(
+        self,
+        env: FederatedEnv,
+        n_rounds: int,
+        eval_every: int = 1,
+        scenario: ScenarioConfig | None = None,
+    ) -> RunResult:
         if n_rounds < 1:
             raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
         m = env.federation.n_clients
         history = RunHistory(self.name, env.federation.dataset_name, env.seed)
-        # Every client starts from the shared init (fair comparison) and
-        # keeps its own weights forever after.
-        client_states = [env.init_state() for _ in range(m)]
-        mean_acc, per_client = float("nan"), np.full(m, np.nan)
-
-        for round_index in range(1, n_rounds + 1):
-            t0 = time.perf_counter()
-            tasks = [
-                UpdateTask(cid, client_states[cid]) for cid in range(m)
-            ]
-            updates = env.run_updates(tasks, round_index)
-            losses = []
-            for update in updates:
-                client_states[update.client_id] = dict(update.state)
-                losses.append(update.mean_loss)
-            # No tracker calls: nothing crosses the network.
-
-            is_last = round_index == n_rounds
-            if is_last or round_index % eval_every == 0:
-                # Worst case for grouped eval — every client has its own
-                # model, so identity-dedup finds m singleton groups and
-                # the compat view degenerates to the per-client loop.
-                mean_acc, per_client = env.mean_local_accuracy(client_states)
-            history.append(
-                RoundRecord(
-                    round_index=round_index,
-                    mean_train_loss=float(np.mean(losses)),
-                    mean_local_accuracy=mean_acc,
-                    n_participants=m,
-                    n_clusters=m,  # every client is its own island
-                    uploaded_params=env.tracker.total_uploaded,
-                    downloaded_params=env.tracker.total_downloaded,
-                    wall_seconds=time.perf_counter() - t0,
-                )
-            )
-
+        strategy = _LocalRounds(env)
+        engine = RoundEngine(env, self._scenario(scenario))
+        mean_acc, per_client = engine.run(
+            strategy, n_rounds, history, eval_every=eval_every
+        )
         return RunResult(
             history=history,
             final_accuracy=mean_acc,

@@ -29,6 +29,7 @@ from repro.algorithms.base import (
 from repro.cluster.hierarchy import auto_cut_gap, cut_by_distance, cut_by_k, linkage
 from repro.cluster.subspace import data_subspace, pairwise_subspace_distances
 from repro.fl.history import RoundRecord, RunHistory
+from repro.fl.rounds import RoundEngine, ScenarioConfig
 from repro.fl.simulation import FederatedEnv
 from repro.utils.validation import check_in, check_positive
 
@@ -94,13 +95,23 @@ class PACFL(FLAlgorithm):
         return labels, proximity
 
     # ------------------------------------------------------------------
-    def run(self, env: FederatedEnv, n_rounds: int, eval_every: int = 1) -> RunResult:
+    def run(
+        self,
+        env: FederatedEnv,
+        n_rounds: int,
+        eval_every: int = 1,
+        scenario: ScenarioConfig | None = None,
+    ) -> RunResult:
         if n_rounds < 2:
             raise ValueError("PACFL needs >= 2 rounds (1 clustering + training)")
         m = env.federation.n_clients
         history = RunHistory(self.name, env.federation.dataset_name, env.seed)
+        engine = RoundEngine(env, self._scenario(scenario))
 
         # Round 1: the one-shot clustering round (basis upload only).
+        # PACFL's signatures are data subspaces the server computes from
+        # the one-off basis upload, so clustering covers every client up
+        # front; scenario policy shapes the training rounds that follow.
         labels, proximity = self.cluster_clients(env)
         n_clusters = int(labels.max()) + 1
         init = env.init_state()
@@ -128,6 +139,7 @@ class PACFL(FLAlgorithm):
             n_rounds=n_rounds - 1,
             first_round=2,
             eval_every=eval_every,
+            engine=engine,
         )
         return RunResult(
             history=history,

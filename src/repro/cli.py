@@ -82,6 +82,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="lenet5")
     p.add_argument("--executor", default="serial",
                    choices=["serial", "thread", "process", "batched"])
+    p.add_argument("--client-fraction", type=float, default=1.0,
+                   help="participation fraction C per round (any algorithm)")
+    p.add_argument("--failure-rate", type=float, default=0.0,
+                   help="seeded per-(round, client) pre-training drop rate")
+    p.add_argument("--straggler-rate", type=float, default=0.0,
+                   help="seeded per-(round, client) deadline-miss rate "
+                        "(trains and uploads, excluded from aggregation)")
     return parser
 
 
@@ -178,9 +185,17 @@ def _cmd_run(args: argparse.Namespace) -> dict:
     from repro.data.federation import build_federation
     from repro.experiments.presets import algorithm_kwargs, get_scale
     from repro.fl.parallel import make_executor
+    from repro.fl.rounds import ScenarioConfig
     from repro.fl.simulation import FederatedEnv
 
     scale = get_scale(args.scale)
+    # Scenario policy composes with every algorithm through the round
+    # engine — not just FedAvg's constructor fraction.
+    scenario = ScenarioConfig(
+        client_fraction=args.client_fraction,
+        failure_rate=args.failure_rate,
+        straggler_rate=args.straggler_rate,
+    )
     n_clients = args.clients or scale.n_clients
     n_rounds = args.rounds or scale.n_rounds
     federation = build_federation(
@@ -202,7 +217,12 @@ def _cmd_run(args: argparse.Namespace) -> dict:
         algorithm = make_algorithm(
             args.algorithm, **algorithm_kwargs(args.algorithm, scale)
         )
-        result = algorithm.run(env, n_rounds=n_rounds, eval_every=scale.eval_every)
+        result = algorithm.run(
+            env,
+            n_rounds=n_rounds,
+            eval_every=scale.eval_every,
+            scenario=scenario,
+        )
     print(
         f"{args.algorithm}: final accuracy {result.final_accuracy:.3f} "
         f"(± {result.accuracy_std:.3f} across clients), "
@@ -215,6 +235,11 @@ def _cmd_run(args: argparse.Namespace) -> dict:
         "dataset": args.dataset,
         "final_accuracy": result.final_accuracy,
         "n_clusters": result.n_clusters,
+        "scenario": {
+            "client_fraction": args.client_fraction,
+            "failure_rate": args.failure_rate,
+            "straggler_rate": args.straggler_rate,
+        },
         "history": result.history.to_dict(),
     }
 

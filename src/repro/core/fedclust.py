@@ -22,15 +22,15 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.algorithms.base import (
+    ClusteredRounds,
     FLAlgorithm,
     RunResult,
     cohort_matrix,
-    run_clustered_training,
 )
 from repro.core.clustering import ClusteringConfig, ClusteringResult, cluster_clients
 from repro.core.newcomer import NewcomerAssignment, assign_newcomer
@@ -46,10 +46,11 @@ from repro.fl.aggregation import packed_weighted_average
 from repro.fl.client import local_train
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.parallel import UpdateTask
+from repro.fl.rounds import RoundEngine, ScenarioConfig
 from repro.fl.simulation import FederatedEnv
 from repro.nn.module import Module
 from repro.nn.state import flatten_state
-from repro.nn.state_flat import unpack_keys
+from repro.nn.state_flat import unpack_keys, unpack_state
 from repro.utils.rng import rng_for
 from repro.utils.validation import check_in, check_positive
 
@@ -184,6 +185,10 @@ class FittedFedClust:
     cluster_states: list[dict[str, np.ndarray]] = field(default_factory=list)
     #: Clients whose warm-up never arrived (assigned by fallback).
     stragglers: list[int] = field(default_factory=list)
+    #: Clients not yet present at the clustering round (scenario arrival
+    #: events); they hold the fallback label until onboarded as
+    #: newcomers at their arrival round.
+    absent: list[int] = field(default_factory=list)
     #: Client ids whose rows make up ``weight_matrix`` (all clients when
     #: nothing straggled).
     responders: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
@@ -211,6 +216,52 @@ class FittedFedClust:
         )
 
 
+class _FedClustRounds(ClusteredRounds):
+    """Per-cluster training with arrival-driven newcomer onboarding.
+
+    The engine notifies the strategy when scenario arrivals occur; each
+    arriving client runs the paper's step ⑥ — warm up from the retained
+    initial model, upload the partial-weight signature, match against
+    the responders' weight matrix — and is re-routed from its fallback
+    cluster *before* it first participates.
+    """
+
+    name = "fedclust"
+
+    def __init__(
+        self, algo: "FedClust", fitted: FittedFedClust, matrix: np.ndarray
+    ) -> None:
+        super().__init__(matrix, fitted.labels)
+        self.algo = algo
+        self.fitted = fitted
+        #: client id → NewcomerAssignment for arrivals onboarded mid-run.
+        self.onboarded: dict[int, NewcomerAssignment] = {}
+
+    def on_arrivals(
+        self, engine: RoundEngine, round_index: int, arrived: np.ndarray
+    ) -> None:
+        env = engine.env
+        for cid in arrived:
+            cid = int(cid)
+            env.tracker.record_download(env.n_params, phase="newcomer")
+            model = env.scratch_model
+            model.load_state_dict(self.fitted.init_state)
+            cfg = self.algo.config.warmup_train_cfg(env.train_cfg)
+            local_train(
+                model,
+                env.federation.clients[cid].train,
+                cfg,
+                rng_for(env.seed, _NEWCOMER_TAG, cid),
+            )
+            vector = flatten_state(
+                model.state_dict(copy=False), self.fitted.selection_keys
+            )
+            env.tracker.record_upload(vector.shape[0], phase="newcomer")
+            assignment = self.fitted.assign_newcomer_vector(vector)
+            self.set_label(cid, assignment.cluster)
+            self.onboarded[cid] = assignment
+
+
 class FedClust(FLAlgorithm):
     """One-shot weight-driven clustered federated learning."""
 
@@ -223,20 +274,34 @@ class FedClust(FLAlgorithm):
     # Step ①–⑤: the clustering round
     # ------------------------------------------------------------------
     def clustering_round(
-        self, env: FederatedEnv, round_index: int = 1
+        self,
+        env: FederatedEnv,
+        round_index: int = 1,
+        engine: RoundEngine | None = None,
+        absent: Sequence[int] = (),
     ) -> FittedFedClust:
-        """Run the one-shot clustering round and fit the cluster structure."""
+        """Run the one-shot clustering round and fit the cluster structure.
+
+        ``engine`` supplies the scenario middleware (seeded failures and
+        stragglers compose with the retry loop below); the default is a
+        no-failure engine, which reproduces the historical behaviour
+        exactly.  ``absent`` names clients not yet present (scenario
+        arrival events): they receive no warm-up task and hold the
+        fallback label until the newcomer path re-routes them.
+        """
         m = env.federation.n_clients
+        engine = engine or RoundEngine(env)
         init = env.init_state()
         selection = resolve_selection_keys(env.scratch_model, self.config.weight_selection)
 
         # ①–② broadcast + local warm-up, with straggler retries.  Executors
-        # that never fail respond fully on the first attempt, so the retry
-        # loop is free in the common path.
+        # and scenarios that never fail respond fully on the first attempt,
+        # so the retry loop is free in the common path.
         original = env.train_cfg
         warmup_cfg = self.config.warmup_train_cfg(original)
         updates_by_client: dict[int, object] = {}
-        pending = list(range(m))
+        absent = sorted(int(c) for c in absent)
+        pending = [cid for cid in range(m) if cid not in set(absent)]
         # Broadcast payload: the packed init row (shared by every task,
         # so executors encode it once); no dict ships.
         init_vector = env.layout.pack(init)
@@ -244,17 +309,22 @@ class FedClust(FLAlgorithm):
             if not pending:
                 break
             tasks = [UpdateTask(cid, flat=init_vector) for cid in pending]
-            env.tracker.record_download(env.n_params * len(pending), phase="clustering")
             # Distinct rng epoch per retry so failure draws are fresh.
             attempt_round = round_index + 1_000_000 * attempt
+            # Upload accounting stays with us: the clustering upload is
+            # the partial-weight slice, not the full model (step ③).
             if warmup_cfg is not original:
                 env.train_cfg = warmup_cfg
                 try:
-                    got = env.run_updates(tasks, attempt_round)
+                    got = engine.dispatch(
+                        tasks, attempt_round, phase="clustering", charge_upload=False
+                    ).survivors
                 finally:
                     env.train_cfg = original
             else:
-                got = env.run_updates(tasks, attempt_round)
+                got = engine.dispatch(
+                    tasks, attempt_round, phase="clustering", charge_upload=False
+                ).survivors
             for update in got:
                 updates_by_client[update.client_id] = update
             pending = [cid for cid in pending if cid not in updates_by_client]
@@ -282,13 +352,15 @@ class FedClust(FLAlgorithm):
         prox = proximity_matrix(w, metric=self.config.metric)
         clustering = cluster_clients(prox.matrix, self.config.clustering)
 
-        # Expand responder labels to all clients; stragglers fall back to
-        # the largest cluster until they can be onboarded as newcomers.
+        # Expand responder labels to all clients; stragglers (and clients
+        # not yet arrived) fall back to the largest cluster until they
+        # can be onboarded as newcomers.
         labels = np.full(m, -1, dtype=np.int64)
         labels[responders] = clustering.labels
-        if stragglers:
+        if stragglers or absent:
             fallback = int(np.bincount(clustering.labels).argmax())
             labels[stragglers] = fallback
+            labels[absent] = fallback
 
         # Initial per-cluster models.
         cluster_states = []
@@ -313,19 +385,36 @@ class FedClust(FLAlgorithm):
             init_state=init,
             cluster_states=cluster_states,
             stragglers=stragglers,
+            absent=absent,
             responders=responders,
         )
 
     # ------------------------------------------------------------------
     # Full training run
     # ------------------------------------------------------------------
-    def run(self, env: FederatedEnv, n_rounds: int, eval_every: int = 1) -> RunResult:
+    def run(
+        self,
+        env: FederatedEnv,
+        n_rounds: int,
+        eval_every: int = 1,
+        scenario: ScenarioConfig | None = None,
+    ) -> RunResult:
         if n_rounds < 2:
             raise ValueError("FedClust needs >= 2 rounds (1 clustering + training)")
         m = env.federation.n_clients
         history = RunHistory(self.name, env.federation.dataset_name, env.seed)
+        scenario = self._scenario(scenario)
+        engine = RoundEngine(env, scenario)
 
-        fitted = self.clustering_round(env, round_index=1)
+        # Scenario arrivals after round 1 miss the one-shot clustering;
+        # they are onboarded through the newcomer path (step ⑥) by the
+        # training strategy at their arrival round.
+        absent = [
+            cid
+            for cid, r in (scenario.arrivals or {}).items()
+            if int(r) > 1
+        ]
+        fitted = self.clustering_round(env, round_index=1, engine=engine, absent=absent)
         # Grouped Table-I eval: each cluster model is loaded once and its
         # members' test splits share fused batches (repro.fl.eval_flat).
         mean_acc, _ = env.evaluate_assignment(fitted.cluster_states, fitted.labels)
@@ -334,23 +423,22 @@ class FedClust(FLAlgorithm):
                 round_index=1,
                 mean_train_loss=float("nan"),
                 mean_local_accuracy=mean_acc,
-                n_participants=m,
+                n_participants=m - len(absent),
                 n_clusters=fitted.n_clusters,
                 uploaded_params=env.tracker.total_uploaded,
                 downloaded_params=env.tracker.total_downloaded,
             )
         )
 
-        cluster_states, mean_acc, per_client = run_clustered_training(
-            env,
-            fitted.labels,
-            fitted.cluster_states,
-            history,
-            n_rounds=n_rounds - 1,
-            first_round=2,
-            eval_every=eval_every,
+        matrix = np.stack([env.layout.pack(s) for s in fitted.cluster_states])
+        strategy = _FedClustRounds(self, fitted, matrix)
+        mean_acc, per_client = engine.run(
+            strategy, n_rounds - 1, history, first_round=2, eval_every=eval_every
         )
-        fitted.cluster_states = cluster_states
+        fitted.cluster_states = [
+            dict(unpack_state(row, env.layout)) for row in strategy.matrix
+        ]
+        fitted.labels = strategy.labels.copy()
         return RunResult(
             history=history,
             final_accuracy=mean_acc,
@@ -362,6 +450,7 @@ class FedClust(FLAlgorithm):
                 "fitted": fitted,
                 "proximity": fitted.proximity.matrix,
                 "n_clusters": fitted.n_clusters,
+                "onboarded": strategy.onboarded,
             },
         )
 

@@ -42,7 +42,13 @@ from repro.fl.parallel import (
     UpdateTask,
     make_executor,
 )
-from repro.fl.sampling import full_participation, uniform_sample
+from repro.fl.rounds import (
+    RoundEngine,
+    RoundOutcome,
+    RoundStrategy,
+    ScenarioConfig,
+)
+from repro.fl.sampling import full_participation, sample_from, uniform_sample
 from repro.fl.simulation import FederatedEnv
 from repro.fl.train_flat import plan_cohort_schedule, supports_batched, train_cohort_flat
 
@@ -82,7 +88,12 @@ __all__ = [
     "ThreadClientExecutor",
     "UpdateTask",
     "make_executor",
+    "RoundEngine",
+    "RoundOutcome",
+    "RoundStrategy",
+    "ScenarioConfig",
     "full_participation",
+    "sample_from",
     "uniform_sample",
     "FederatedEnv",
     "plan_cohort_schedule",

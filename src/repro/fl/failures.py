@@ -1,12 +1,16 @@
 """Failure injection: clients that go dark mid-round.
 
-Real federations lose clients to network drops and stragglers.  The
-:class:`FaultyExecutor` wraps any client executor and makes a seeded
-subset of clients fail each round, exercising the algorithms' tolerance
-paths — most importantly FedClust's straggler handling in the one-shot
-clustering round (clients that miss it are onboarded later through the
-newcomer mechanism, see
-:meth:`repro.core.fedclust.FedClust.clustering_round`).
+.. deprecated::
+    Failure injection is now engine middleware — set
+    ``ScenarioConfig(failure_rate=...)`` (see :mod:`repro.fl.rounds`)
+    and pass it to any algorithm's ``run``.  The scenario path composes
+    with **every** executor kind, including ``"batched"`` flat-plane
+    cohorts, which this executor wrapper predates: wrapping splinters
+    the task list the batched executor needs whole, and the wrapper can
+    only sit where the caller happened to construct the executor.
+    :class:`FaultyExecutor` remains as a thin shim over the same seeded
+    ``(seed, round, client)`` drop stream (``rounds.FAILURE_TAG``), so
+    historical faulty runs reproduce bit-for-bit either way.
 
 Semantics: a failed client consumed the broadcast (download is already
 spent) but returns no update.  ``run`` therefore returns updates only for
@@ -15,9 +19,8 @@ the surviving clients.
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Sequence
-
-import numpy as np
 
 from repro.fl.client import ClientUpdate
 from repro.fl.parallel import SerialClientExecutor, UpdateTask
@@ -29,17 +32,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["FaultyExecutor"]
 
-_FAILURE_TAG = 13
-
 
 class FaultyExecutor:
-    """Drop each client's update with probability ``failure_rate``.
+    """Deprecated executor wrapper over the engine's failure stream.
 
-    Failures are derived statelessly from ``(seed, round, client)`` so a
-    run with failures is as reproducible as one without.  At least one
-    client always survives a round (a fully-dark round would deadlock
-    aggregation, which no real server would allow either — it would
-    re-broadcast instead).
+    Drops each client's update with probability ``failure_rate``,
+    derived statelessly from ``(seed, round, client)`` — the identical
+    stream the round engine's scenario middleware draws from, so a
+    wrapped run and a ``ScenarioConfig(failure_rate=...)`` run lose the
+    same clients in the same rounds.  At least one client always
+    survives a round.
+
+    Prefer ``ScenarioConfig``: it composes with the batched executor
+    and with straggler/arrival policy, and logs through the engine.
     """
 
     def __init__(
@@ -50,6 +55,12 @@ class FaultyExecutor:
         check_fraction("failure_rate", failure_rate, inclusive_low=True)
         if failure_rate >= 1.0:
             raise ValueError("failure_rate must be < 1 (someone must survive)")
+        warnings.warn(
+            "FaultyExecutor is deprecated; use "
+            "repro.fl.rounds.ScenarioConfig(failure_rate=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.failure_rate = failure_rate
         self.inner = inner if inner is not None else SerialClientExecutor()
         #: (round, dropped client ids) log, for tests and diagnostics.
@@ -59,9 +70,11 @@ class FaultyExecutor:
         self, env: "FederatedEnv", tasks: Sequence[UpdateTask], round_index: int
     ) -> list[UpdateTask]:
         """The deterministic surviving subset for this round."""
+        from repro.fl.rounds import FAILURE_TAG
+
         alive = []
         for task in tasks:
-            u = rng_for(env.seed, _FAILURE_TAG, round_index, task.client_id).random()
+            u = rng_for(env.seed, FAILURE_TAG, round_index, task.client_id).random()
             if u >= self.failure_rate:
                 alive.append(task)
         if not alive and tasks:

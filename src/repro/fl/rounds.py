@@ -1,0 +1,449 @@
+"""The round engine: one server loop shared by every algorithm.
+
+Historically each algorithm hand-rolled its own per-round lifecycle, so
+partial participation existed only inside FedAvg and failure injection
+only as an executor wrapper.  This module extracts the loop once:
+
+    select participants → broadcast packed rows → dispatch local
+    training → collect survivors → aggregate → evaluate/log
+
+:class:`RoundEngine` owns that lifecycle; algorithms are reduced to
+:class:`RoundStrategy` objects with three required hooks —
+``broadcast_for`` (participants → packed-row tasks), ``aggregate``
+(surviving updates → new server state, returning the round's train-loss
+statistic) and ``evaluate`` (the Table-I metric for the current state) —
+plus optional ``on_arrivals``/``on_round_end`` notifications.
+
+Scenario policy lives in :class:`ScenarioConfig` and composes with
+**every** strategy and every executor kind (serial/thread/process/
+batched), because it acts on the engine's task lists and update lists,
+never on the executor or the payload format:
+
+* **participation** — FedAvg's client fraction ``C``, sampled per round
+  via :func:`repro.fl.sampling.uniform_sample` from the server RNG
+  stream (``env.server_rng(round_index)``), exactly as FedAvg's
+  historical loop did;
+* **failures** — seeded pre-training drops on the stateless
+  ``(seed, round, client)`` stream the legacy
+  :class:`repro.fl.failures.FaultyExecutor` used (same tag, same
+  draws).  A failed client consumed the broadcast — the download is
+  charged — but never trains or uploads;
+* **stragglers** — seeded post-training drops on an independent stream.
+  A straggler trains and uploads, but its update arrives after the
+  aggregation deadline: both transfers are charged, the update is
+  discarded, and aggregation weights renormalise over the survivors
+  (``packed_weighted_average`` normalises by the surviving sample
+  counts, so renormalisation is automatic);
+* **arrivals** — clients that join the federation mid-run.  They are
+  ineligible for participation before their arrival round; strategies
+  are told via ``on_arrivals`` (FedClust routes this into its newcomer
+  onboarding).
+
+At least one participant always survives a round (a fully-dark round
+would deadlock aggregation; a real server would re-broadcast instead) —
+the deterministically-first client by id is kept, mirroring the
+historical ``FaultyExecutor`` guarantee.
+
+Under the default scenario (full participation, no failures) the engine
+performs exactly the tracker calls and aggregation arithmetic of the
+pre-engine per-algorithm loops, so seeded runs are bit-identical — the
+parity suite in ``tests/test_fl_rounds.py`` gates this per algorithm
+and per executor kind.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from repro.fl.client import ClientUpdate
+from repro.fl.history import RoundRecord, RunHistory
+from repro.fl.parallel import UpdateTask
+from repro.fl.sampling import sample_from, uniform_sample
+from repro.utils.rng import rng_for
+from repro.utils.validation import check_fraction, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fl.simulation import FederatedEnv
+
+__all__ = [
+    "FAILURE_TAG",
+    "STRAGGLER_TAG",
+    "ScenarioConfig",
+    "DispatchOutcome",
+    "RoundOutcome",
+    "RoundStrategy",
+    "RoundEngine",
+]
+
+#: rng_for namespace tag of the failure stream.  Value 13 is load-bearing:
+#: it is the stream the legacy ``FaultyExecutor`` drew from, so scenario
+#: failures reproduce the exact drop sets of historical faulty runs.
+FAILURE_TAG = 13
+#: Straggler draws use an independent stream.
+STRAGGLER_TAG = 17
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """System-heterogeneity policy for a run; composes with any strategy.
+
+    Attributes
+    ----------
+    client_fraction:
+        FedAvg's ``C``: fraction of eligible clients sampled per round
+        (1.0 = full participation).
+    min_clients:
+        Participation floor passed to :func:`uniform_sample`.
+    failure_rate:
+        Per-(round, client) probability that a participant goes dark
+        before training.  Download charged, no upload, no update.
+    straggler_rate:
+        Per-(round, client) probability that a participant finishes too
+        late for aggregation.  Download and upload charged, update
+        discarded; aggregation renormalises over the survivors.
+    arrivals:
+        ``client_id → arrival round`` for clients that join mid-run;
+        unlisted clients are present from the start.  A client is
+        ineligible for participation in rounds before its arrival round;
+        strategies learn about arrivals via
+        :meth:`RoundStrategy.on_arrivals`.
+    """
+
+    client_fraction: float = 1.0
+    min_clients: int = 1
+    failure_rate: float = 0.0
+    straggler_rate: float = 0.0
+    arrivals: Mapping[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        check_fraction("client_fraction", self.client_fraction)
+        check_positive("min_clients", self.min_clients)
+        for name in ("failure_rate", "straggler_rate"):
+            rate = getattr(self, name)
+            check_fraction(name, rate, inclusive_low=True)
+            if rate >= 1.0:
+                raise ValueError(f"{name} must be < 1 (someone must survive)")
+        if self.arrivals:
+            bad = {c: r for c, r in self.arrivals.items() if int(r) < 1}
+            if bad:
+                raise ValueError(f"arrival rounds must be >= 1, got {bad}")
+
+    @property
+    def is_default(self) -> bool:
+        """True for the paper-scale scenario: everyone, every round."""
+        return (
+            self.client_fraction >= 1.0
+            and self.failure_rate == 0.0
+            and self.straggler_rate == 0.0
+            and not self.arrivals
+        )
+
+
+@dataclass
+class DispatchOutcome:
+    """What came back from one dispatched task list."""
+
+    survivors: list[ClientUpdate]
+    failed: np.ndarray
+    stragglers: np.ndarray
+
+
+@dataclass
+class RoundOutcome:
+    """Everything that happened in one engine round."""
+
+    round_index: int
+    participants: np.ndarray
+    survivors: list[ClientUpdate]
+    failed: np.ndarray
+    stragglers: np.ndarray
+    arrived: np.ndarray
+    train_loss: float
+    evaluated: bool
+    mean_accuracy: float
+
+
+class RoundStrategy(abc.ABC):
+    """An algorithm's per-round behaviour, driven by the engine.
+
+    The engine owns participant selection, failure/straggler injection,
+    communication accounting, evaluation cadence and history logging;
+    the strategy owns only what is genuinely algorithm-specific.
+    """
+
+    #: Registry/reporting name; subclasses override.
+    name: str = "abstract"
+    #: False for methods with no server round-trip (local-only); the
+    #: engine then skips the per-round download/upload accounting.
+    charges_communication: bool = True
+
+    @abc.abstractmethod
+    def broadcast_for(
+        self, engine: "RoundEngine", round_index: int, participants: np.ndarray
+    ) -> list[UpdateTask]:
+        """Build this round's task list (packed-row payloads).
+
+        Tasks for clients sharing a server model must share the payload
+        *object* so executors encode it once (and the batched executor
+        groups them into one lockstep cohort).  Any extra traffic beyond
+        the engine's one-download-per-participant baseline (e.g. IFCA's
+        ``k×`` broadcast) is recorded here by the strategy.
+        """
+
+    @abc.abstractmethod
+    def aggregate(
+        self, engine: "RoundEngine", round_index: int, survivors: list[ClientUpdate]
+    ) -> float:
+        """Fold the surviving updates into the server state.
+
+        Returns the round's train-loss statistic for the history record
+        (NaN when nothing survived — the strategy keeps its state).
+        Weighting must renormalise over ``survivors``.
+        """
+
+    @abc.abstractmethod
+    def evaluate(
+        self, engine: "RoundEngine", round_index: int
+    ) -> tuple[float, np.ndarray]:
+        """Table-I metric of the current server state: (mean, per-client)."""
+
+    def current_n_clusters(self) -> int:
+        """Cluster count for the history record."""
+        return 1
+
+    def on_arrivals(
+        self, engine: "RoundEngine", round_index: int, arrived: np.ndarray
+    ) -> None:
+        """Clients newly present this round (before participant selection)."""
+
+    def on_round_end(self, engine: "RoundEngine", outcome: RoundOutcome) -> None:
+        """Post-round notification (after history logging)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class RoundEngine:
+    """The shared server loop over a :class:`FederatedEnv`.
+
+    One engine instance runs one (or several consecutive) training
+    phases; it holds no model state — that lives in the strategy — only
+    the environment, the scenario policy and the failure/straggler logs.
+    """
+
+    def __init__(
+        self,
+        env: "FederatedEnv",
+        scenario: ScenarioConfig | None = None,
+        phase: str = "training",
+    ) -> None:
+        self.env = env
+        self.scenario = scenario or ScenarioConfig()
+        self.phase = phase
+        if self.scenario.min_clients > env.federation.n_clients:
+            # Fail at construction, not rounds into the run: a floor
+            # above the whole federation can never be met.
+            raise ValueError(
+                f"scenario min_clients ({self.scenario.min_clients}) exceeds "
+                f"the federation size ({env.federation.n_clients})"
+            )
+        #: (round, dropped client ids) — failure middleware log.
+        self.drop_log: list[tuple[int, list[int]]] = []
+        #: (round, straggler client ids) — straggler middleware log.
+        self.straggler_log: list[tuple[int, list[int]]] = []
+
+    # ------------------------------------------------------------------
+    # Scenario middleware
+    # ------------------------------------------------------------------
+    def eligible_clients(self, round_index: int) -> np.ndarray:
+        """Clients present in the federation as of ``round_index``."""
+        m = self.env.federation.n_clients
+        arrivals = self.scenario.arrivals
+        if not arrivals:
+            return np.arange(m)
+        return np.array(
+            [cid for cid in range(m) if int(arrivals.get(cid, 1)) <= round_index],
+            dtype=np.int64,
+        )
+
+    def arrivals_at(self, round_index: int) -> np.ndarray:
+        """Clients whose arrival round is exactly ``round_index``."""
+        arrivals = self.scenario.arrivals
+        if not arrivals:
+            return np.empty(0, dtype=np.int64)
+        return np.array(
+            sorted(cid for cid, r in arrivals.items() if int(r) == round_index),
+            dtype=np.int64,
+        )
+
+    def select_participants(self, round_index: int) -> np.ndarray:
+        """This round's participant set (sorted client ids).
+
+        Full participation returns the eligible set unchanged; otherwise
+        sampling draws from ``env.server_rng(round_index)`` — the same
+        stream (and, with every client eligible, the same call) FedAvg's
+        historical ``_participants`` used, so seeded sampled runs are
+        reproduced exactly.
+        """
+        eligible = self.eligible_clients(round_index)
+        fraction = self.scenario.client_fraction
+        if fraction >= 1.0 or eligible.size <= 1:
+            return eligible
+        rng = self.env.server_rng(round_index)
+        if eligible.size == self.env.federation.n_clients:
+            return uniform_sample(
+                eligible.size, fraction, rng, self.scenario.min_clients
+            )
+        return sample_from(eligible, fraction, rng, self.scenario.min_clients)
+
+    def _apply_failures(
+        self, tasks: Sequence[UpdateTask], round_index: int
+    ) -> tuple[list[UpdateTask], list[int]]:
+        """Seeded pre-training drops (legacy ``FaultyExecutor`` stream)."""
+        rate = self.scenario.failure_rate
+        if rate <= 0.0 or not tasks:
+            return list(tasks), []
+        alive, failed = [], []
+        for task in tasks:
+            u = rng_for(
+                self.env.seed, FAILURE_TAG, round_index, task.client_id
+            ).random()
+            (alive if u >= rate else failed).append(task)
+        if not alive:
+            # Guarantee progress: keep the deterministically-first client.
+            keep = min(failed, key=lambda t: t.client_id)
+            alive = [keep]
+            failed = [t for t in failed if t is not keep]
+        return alive, sorted(t.client_id for t in failed)
+
+    def _apply_stragglers(
+        self, updates: list[ClientUpdate], round_index: int
+    ) -> tuple[list[ClientUpdate], list[int]]:
+        """Seeded post-training deadline misses (independent stream)."""
+        rate = self.scenario.straggler_rate
+        if rate <= 0.0 or not updates:
+            return updates, []
+        on_time, late = [], []
+        for update in updates:
+            u = rng_for(
+                self.env.seed, STRAGGLER_TAG, round_index, update.client_id
+            ).random()
+            (on_time if u >= rate else late).append(update)
+        if not on_time:
+            keep = min(late, key=lambda u: u.client_id)
+            on_time = [keep]
+            late = [u for u in late if u is not keep]
+        return on_time, sorted(u.client_id for u in late)
+
+    # ------------------------------------------------------------------
+    # Dispatch: broadcast accounting + middleware + executor
+    # ------------------------------------------------------------------
+    def dispatch(
+        self,
+        tasks: Sequence[UpdateTask],
+        round_index: int,
+        phase: str | None = None,
+        charge_download: bool = True,
+        charge_upload: bool = True,
+    ) -> DispatchOutcome:
+        """Run one task list through failure/straggler middleware.
+
+        Downloads are charged for **every** task — a client that fails
+        mid-round already consumed the broadcast — while uploads are
+        charged only for clients that finished training (stragglers
+        uploaded too, just late).  ``charge_upload=False`` lets callers
+        with partial-weight uploads (FedClust's clustering round)
+        account the upload themselves.
+        """
+        env = self.env
+        phase = self.phase if phase is None else phase
+        if charge_download and tasks:
+            env.tracker.record_download(env.n_params * len(tasks), phase)
+        alive, failed_ids = self._apply_failures(tasks, round_index)
+        updates = env.run_updates(alive, round_index)
+        if charge_upload and updates:
+            env.tracker.record_upload(env.n_params * len(updates), phase)
+        survivors, straggler_ids = self._apply_stragglers(updates, round_index)
+        if failed_ids:
+            self.drop_log.append((round_index, failed_ids))
+        if straggler_ids:
+            self.straggler_log.append((round_index, straggler_ids))
+        return DispatchOutcome(
+            survivors=survivors,
+            failed=np.array(failed_ids, dtype=np.int64),
+            stragglers=np.array(straggler_ids, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    # The round lifecycle
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        strategy: RoundStrategy,
+        n_rounds: int,
+        history: RunHistory,
+        first_round: int = 1,
+        eval_every: int = 1,
+    ) -> tuple[float, np.ndarray]:
+        """Run ``n_rounds`` engine rounds, appending to ``history``.
+
+        Returns the last evaluation ``(mean accuracy, per-client
+        accuracies)``; the final round is always evaluated.
+        """
+        if n_rounds < 1:
+            raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
+        env = self.env
+        m = env.federation.n_clients
+        mean_acc, per_client = float("nan"), np.full(m, np.nan)
+        last_round = first_round + n_rounds - 1
+
+        for round_index in range(first_round, last_round + 1):
+            t0 = time.perf_counter()
+            arrived = self.arrivals_at(round_index)
+            if arrived.size:
+                strategy.on_arrivals(self, round_index, arrived)
+            participants = self.select_participants(round_index)
+            tasks = strategy.broadcast_for(self, round_index, participants)
+            charge = strategy.charges_communication
+            dispatched = self.dispatch(
+                tasks,
+                round_index,
+                charge_download=charge,
+                charge_upload=charge,
+            )
+            train_loss = strategy.aggregate(self, round_index, dispatched.survivors)
+            evaluated = round_index == last_round or round_index % eval_every == 0
+            if evaluated:
+                mean_acc, per_client = strategy.evaluate(self, round_index)
+            history.append(
+                RoundRecord(
+                    round_index=round_index,
+                    mean_train_loss=train_loss,
+                    mean_local_accuracy=mean_acc,
+                    n_participants=len(participants),
+                    n_clusters=strategy.current_n_clusters(),
+                    uploaded_params=env.tracker.total_uploaded,
+                    downloaded_params=env.tracker.total_downloaded,
+                    wall_seconds=time.perf_counter() - t0,
+                )
+            )
+            strategy.on_round_end(
+                self,
+                RoundOutcome(
+                    round_index=round_index,
+                    participants=participants,
+                    survivors=dispatched.survivors,
+                    failed=dispatched.failed,
+                    stragglers=dispatched.stragglers,
+                    arrived=arrived,
+                    train_loss=train_loss,
+                    evaluated=evaluated,
+                    mean_accuracy=mean_acc,
+                ),
+            )
+        return mean_acc, per_client

@@ -25,6 +25,22 @@ class TestParser:
         assert args.algorithm == "fedclust"
         assert args.partition == "dirichlet"
         assert args.executor == "serial"
+        assert args.client_fraction == 1.0
+        assert args.failure_rate == 0.0
+        assert args.straggler_rate == 0.0
+
+    def test_scenario_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "--client-fraction", "0.5",
+                "--failure-rate", "0.2",
+                "--straggler-rate", "0.1",
+            ]
+        )
+        assert args.client_fraction == 0.5
+        assert args.failure_rate == 0.2
+        assert args.straggler_rate == 0.1
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -55,6 +71,43 @@ class TestCliExecution:
         assert 0.0 <= payload["final_accuracy"] <= 1.0
         printed = capsys.readouterr().out
         assert "final accuracy" in printed
+
+    def test_run_command_scenario_flags_route_to_engine(self, tmp_path, capsys):
+        """End-to-end seeded smoke: scenario flags reach every algorithm
+        through ScenarioConfig, and the run is reproducible."""
+        out = tmp_path / "scenario.json"
+
+        def run_once():
+            code = main(
+                [
+                    "run",
+                    "--algorithm", "ifca",
+                    "--dataset", "fmnist",
+                    "--clients", "6",
+                    "--rounds", "2",
+                    "--model", "mlp",
+                    "--client-fraction", "0.67",
+                    "--failure-rate", "0.25",
+                    "--straggler-rate", "0.25",
+                    "--out", str(out),
+                ]
+            )
+            assert code == 0
+            return json.loads(out.read_text())
+
+        payload = run_once()
+        assert payload["scenario"] == {
+            "client_fraction": 0.67,
+            "failure_rate": 0.25,
+            "straggler_rate": 0.25,
+        }
+        assert 0.0 <= payload["final_accuracy"] <= 1.0
+        # IFCA has no constructor fraction — participation must have
+        # come through the engine scenario (4 of 6 clients per round).
+        repeat = run_once()
+        assert repeat["final_accuracy"] == payload["final_accuracy"]
+        assert repeat["history"] == payload["history"]
+        capsys.readouterr()
 
     def test_fig2_command(self, capsys, monkeypatch):
         # Micro-ify via env scale: quick is smallest preset; accept runtime.

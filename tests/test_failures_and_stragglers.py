@@ -1,4 +1,10 @@
-"""Failure injection and FedClust's straggler tolerance."""
+"""Failure injection and FedClust's straggler tolerance.
+
+Failure policy lives in the round engine now
+(``ScenarioConfig(failure_rate=...)``); the deprecated
+:class:`FaultyExecutor` shim draws the same seeded stream, so both
+paths drop the same clients — a handful of shim tests pin that.
+"""
 
 from __future__ import annotations
 
@@ -10,52 +16,81 @@ from repro.cluster.metrics import adjusted_rand_index
 from repro.core.fedclust import FedClust, FedClustConfig
 from repro.fl.failures import FaultyExecutor
 from repro.fl.parallel import UpdateTask
+from repro.fl.rounds import RoundEngine, ScenarioConfig
 from repro.fl.simulation import FederatedEnv
 
 _FEDCLUST = FedClustConfig(warmup_steps=15, warmup_lr=0.01)
 
 
-def _env(federation, cfg, failure_rate=None, seed=0):
-    executor = FaultyExecutor(failure_rate) if failure_rate is not None else None
+def _env(federation, cfg, seed=0):
     return FederatedEnv(
         federation,
         model_name="cnn_small",
         model_kwargs={"width": 4, "fc_dim": 16},
         train_cfg=cfg,
         seed=seed,
-        executor=executor,
     )
 
 
-class TestFaultyExecutor:
+def _engine(env, failure_rate):
+    return RoundEngine(env, ScenarioConfig(failure_rate=failure_rate))
+
+
+def _faulty(rate, inner=None):
+    with pytest.warns(DeprecationWarning, match="ScenarioConfig"):
+        return FaultyExecutor(rate, inner)
+
+
+class TestFaultyExecutorShim:
     def test_drops_deterministically(self, planted_federation, fast_train_cfg):
-        env = _env(planted_federation, fast_train_cfg, failure_rate=0.5)
+        env = _env(planted_federation, fast_train_cfg)
+        executor = _faulty(0.5)
         tasks = [
             UpdateTask(cid, env.init_state())
             for cid in range(planted_federation.n_clients)
         ]
-        first = [u.client_id for u in env.executor.run(env, tasks, 1)]
-        second = [u.client_id for u in env.executor.run(env, tasks, 1)]
+        first = [u.client_id for u in executor.run(env, tasks, 1)]
+        second = [u.client_id for u in executor.run(env, tasks, 1)]
         assert first == second  # same round → same survivors
         assert len(first) < planted_federation.n_clients
 
-    def test_failure_rate_zero_is_transparent(self, planted_federation, fast_train_cfg):
-        env = _env(planted_federation, fast_train_cfg, failure_rate=0.0)
+    def test_matches_engine_failure_stream(self, planted_federation, fast_train_cfg):
+        """Shim and scenario middleware share the drop stream, so a
+        legacy wrapped run and a ScenarioConfig run lose the same
+        clients in the same rounds."""
+        env = _env(planted_federation, fast_train_cfg)
+        executor = _faulty(0.5)
+        engine = _engine(env, 0.5)
         tasks = [
             UpdateTask(cid, env.init_state())
             for cid in range(planted_federation.n_clients)
         ]
-        got = env.executor.run(env, tasks, 1)
+        for round_index in (1, 2, 5):
+            shim_alive = [
+                t.client_id for t in executor.survivors(env, tasks, round_index)
+            ]
+            engine_alive, _ = engine._apply_failures(tasks, round_index)
+            assert [t.client_id for t in engine_alive] == shim_alive
+
+    def test_failure_rate_zero_is_transparent(self, planted_federation, fast_train_cfg):
+        env = _env(planted_federation, fast_train_cfg)
+        executor = _faulty(0.0)
+        tasks = [
+            UpdateTask(cid, env.init_state())
+            for cid in range(planted_federation.n_clients)
+        ]
+        got = executor.run(env, tasks, 1)
         assert len(got) == planted_federation.n_clients
 
     def test_someone_always_survives(self, planted_federation, fast_train_cfg):
-        env = _env(planted_federation, fast_train_cfg, failure_rate=0.95)
+        env = _env(planted_federation, fast_train_cfg)
+        executor = _faulty(0.95)
         tasks = [
             UpdateTask(cid, env.init_state())
             for cid in range(planted_federation.n_clients)
         ]
         for round_index in range(1, 8):
-            got = env.executor.run(env, tasks, round_index)
+            got = executor.run(env, tasks, round_index)
             assert len(got) >= 1
 
     def test_validation(self):
@@ -66,10 +101,15 @@ class TestFaultyExecutor:
 
     @pytest.mark.slow
     def test_fedavg_survives_failures(self, planted_federation, fast_train_cfg):
-        env = _env(planted_federation, fast_train_cfg, failure_rate=0.3)
-        result = FedAvg().run(env, n_rounds=3, eval_every=3)
+        env = _env(planted_federation, fast_train_cfg)
+        result = FedAvg().run(
+            env,
+            n_rounds=3,
+            eval_every=3,
+            scenario=ScenarioConfig(failure_rate=0.3),
+        )
         assert result.final_accuracy > 0.2
-        assert env.executor.drop_log  # failures actually happened
+        assert result.extras["drop_log"]  # failures actually happened
 
 
 @pytest.mark.slow
@@ -77,8 +117,10 @@ class TestStragglerClustering:
     def test_retries_recover_everyone(self, planted_federation, fast_train_cfg):
         """With moderate failures and 3 attempts, all clients usually
         report; labels must then have no fallback assignments."""
-        env = _env(planted_federation, fast_train_cfg, failure_rate=0.3)
-        fitted = FedClust(_FEDCLUST).clustering_round(env)
+        env = _env(planted_federation, fast_train_cfg)
+        fitted = FedClust(_FEDCLUST).clustering_round(
+            env, engine=_engine(env, 0.3)
+        )
         m = planted_federation.n_clients
         assert len(fitted.responders) + len(fitted.stragglers) == m
         assert (fitted.labels >= 0).all()
@@ -95,8 +137,8 @@ class TestStragglerClustering:
         config = FedClustConfig(
             warmup_steps=15, warmup_lr=0.01, max_clustering_attempts=1
         )
-        env = _env(planted_federation, fast_train_cfg, failure_rate=0.6, seed=1)
-        fitted = FedClust(config).clustering_round(env)
+        env = _env(planted_federation, fast_train_cfg, seed=1)
+        fitted = FedClust(config).clustering_round(env, engine=_engine(env, 0.6))
         assert fitted.stragglers  # with one attempt at 60%, someone is dark
         # Stragglers hold a valid (fallback) cluster id.
         assert all(0 <= fitted.labels[s] < fitted.n_clusters for s in fitted.stragglers)
@@ -107,9 +149,9 @@ class TestStragglerClustering:
         config = FedClustConfig(
             warmup_steps=15, warmup_lr=0.01, max_clustering_attempts=1
         )
-        env = _env(planted_federation, fast_train_cfg, failure_rate=0.6, seed=1)
+        env = _env(planted_federation, fast_train_cfg, seed=1)
         algo = FedClust(config)
-        fitted = algo.clustering_round(env)
+        fitted = algo.clustering_round(env, engine=_engine(env, 0.6))
         assert fitted.stragglers
         straggler = fitted.stragglers[0]
         assignment, _ = algo.incorporate_newcomer(

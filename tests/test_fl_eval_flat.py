@@ -361,9 +361,8 @@ class TestIFCAFusedAssign:
         env = small_env
         algo = IFCA(n_clusters=2)
         states = algo._initial_states(env)  # packed rows (flat plane)
-        fused_labels = algo._assign(env, states)
-
         m = env.federation.n_clients
+        fused_labels = algo._assign(env, states, np.arange(m))
         cap = algo.assignment_batches * env.train_cfg.batch_size
         losses = np.zeros((m, algo.n_clusters))
         for j, state in enumerate(states):

@@ -1,0 +1,350 @@
+"""The round engine: scenario policy, seeded parity pins, executor matrix.
+
+Three contracts:
+
+1. **Parity pins** — under the default scenario the engine reproduces
+   the pre-refactor per-algorithm round loops bit-for-bit: the seeded
+   Table-I accuracies, final-round train losses and traffic totals below
+   were captured from the hand-rolled loops immediately before the
+   engine refactor.
+2. **Scenario matrix** — every (sampling × failure × straggler) cell is
+   deterministic and identical across the serial/thread/process/batched
+   executor kinds (scenario middleware acts on task lists and update
+   lists, never on the executor).
+3. **Middleware semantics** — failures consume the download but never
+   upload; stragglers train and upload but miss aggregation; at least
+   one participant always survives; arrivals gate eligibility and drive
+   FedClust's newcomer onboarding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import GlobalModelRounds
+from repro.algorithms.registry import make_algorithm
+from repro.data.federation import build_federation
+from repro.fl.config import TrainConfig
+from repro.fl.parallel import UpdateTask
+from repro.fl.rounds import RoundEngine, ScenarioConfig
+from repro.fl.simulation import FederatedEnv
+from repro.fl.history import RunHistory
+
+#: (final accuracy, last-round mean train loss, uploaded, downloaded)
+#: captured from the pre-engine loops on the seeded config below.
+_PINS = {
+    "fedavg": (0.43177546138072453, 2.9827569512520618, 7103472, 7103472),
+    "fedprox": (0.43177546138072453, 2.7420452448847454, 7103472, 7103472),
+    "cfl": (0.43177546138072453, 2.9827569512520618, 7103472, 7103472),
+    "ifca": (0.49332137161084527, 0.6809209035459525, 7103472, 14206944),
+    "pacfl": (0.5, 0.39267744787125936, 4809376, 4735648),
+    "fedclust": (1.0, 2.4813714134032844e-05, 4743408, 7103472),
+    "local_only": (1.0, 1.8147281241239395e-06, 0, 0),
+}
+
+_KWARGS = {
+    "fedavg": {},
+    "fedprox": {"mu": 0.1},
+    "cfl": {"warmup_rounds": 1},
+    "ifca": {"n_clusters": 2},
+    "pacfl": {},
+    "fedclust": {"warmup_steps": 10, "warmup_lr": 0.01},
+    "local_only": {},
+}
+
+
+@pytest.fixture(scope="module")
+def federation():
+    return build_federation(
+        "cifar10", n_clients=8, n_samples=800, seed=5, partition="label_cluster"
+    )
+
+
+@pytest.fixture(scope="module")
+def env_factory(federation):
+    def make(executor="serial", local_epochs=2, seed=2):
+        return FederatedEnv(
+            federation,
+            model_name="mlp",
+            model_kwargs={"hidden": (96,)},
+            train_cfg=TrainConfig(
+                local_epochs=local_epochs, batch_size=32, lr=0.05, momentum=0.9
+            ),
+            seed=seed,
+            executor=executor,
+        )
+
+    return make
+
+
+# ----------------------------------------------------------------------
+# ScenarioConfig validation
+# ----------------------------------------------------------------------
+class TestScenarioConfig:
+    def test_defaults_are_paper_scale(self):
+        scenario = ScenarioConfig()
+        assert scenario.is_default
+
+    def test_any_knob_leaves_default(self):
+        assert not ScenarioConfig(client_fraction=0.5).is_default
+        assert not ScenarioConfig(failure_rate=0.1).is_default
+        assert not ScenarioConfig(straggler_rate=0.1).is_default
+        assert not ScenarioConfig(arrivals={3: 2}).is_default
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"client_fraction": 0.0},
+            {"client_fraction": 1.5},
+            {"failure_rate": 1.0},
+            {"failure_rate": -0.1},
+            {"straggler_rate": 1.0},
+            {"min_clients": 0},
+            {"arrivals": {2: 0}},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioConfig(**kwargs)
+
+    def test_min_clients_above_federation_fails_at_engine_construction(
+        self, env_factory
+    ):
+        env = env_factory(local_epochs=1)
+        with pytest.raises(ValueError, match="min_clients"):
+            RoundEngine(env, ScenarioConfig(min_clients=9, client_fraction=0.5))
+
+    def test_fedavg_constructor_fraction_merges_with_scenario(self, env_factory):
+        """Adding failure injection must not silently revert a
+        configured client fraction to full participation."""
+        from repro.algorithms.fedavg import FedAvg
+
+        algo = FedAvg(client_fraction=0.5)
+        merged = algo._scenario(ScenarioConfig(failure_rate=0.2))
+        assert merged.client_fraction == 0.5
+        assert merged.failure_rate == 0.2
+        # Same fraction in both places is fine; different is a loud error.
+        assert algo._scenario(ScenarioConfig(client_fraction=0.5)).client_fraction == 0.5
+        with pytest.raises(ValueError, match="conflicting client fractions"):
+            algo._scenario(ScenarioConfig(client_fraction=0.25))
+
+
+# ----------------------------------------------------------------------
+# Middleware semantics (one dispatched round each)
+# ----------------------------------------------------------------------
+class TestDispatchMiddleware:
+    def _tasks(self, env):
+        vector = env.layout.pack(env.init_state())
+        return [
+            UpdateTask(cid, flat=vector)
+            for cid in range(env.federation.n_clients)
+        ]
+
+    def test_failures_charge_download_not_upload(self, env_factory):
+        env = env_factory(local_epochs=1)
+        engine = RoundEngine(env, ScenarioConfig(failure_rate=0.5))
+        out = engine.dispatch(self._tasks(env), 1)
+        m = env.federation.n_clients
+        assert 0 < len(out.failed) < m
+        assert len(out.survivors) == m - len(out.failed)
+        # Failed clients consumed the broadcast but never uploaded.
+        assert env.tracker.total_downloaded == m * env.n_params
+        assert env.tracker.total_uploaded == len(out.survivors) * env.n_params
+        assert engine.drop_log == [(1, out.failed.tolist())]
+
+    def test_stragglers_charge_both_but_miss_aggregation(self, env_factory):
+        env = env_factory(local_epochs=1)
+        engine = RoundEngine(env, ScenarioConfig(straggler_rate=0.5))
+        out = engine.dispatch(self._tasks(env), 1)
+        m = env.federation.n_clients
+        assert 0 < len(out.stragglers) < m
+        assert len(out.survivors) == m - len(out.stragglers)
+        # Stragglers trained and uploaded — they just missed the deadline.
+        assert env.tracker.total_downloaded == m * env.n_params
+        assert env.tracker.total_uploaded == m * env.n_params
+        assert engine.straggler_log == [(1, out.stragglers.tolist())]
+
+    def test_same_round_same_drops(self, env_factory):
+        env = env_factory(local_epochs=1)
+        scenario = ScenarioConfig(failure_rate=0.5, straggler_rate=0.3)
+        first = RoundEngine(env, scenario).dispatch(self._tasks(env), 4)
+        second = RoundEngine(env, scenario).dispatch(self._tasks(env), 4)
+        np.testing.assert_array_equal(first.failed, second.failed)
+        np.testing.assert_array_equal(first.stragglers, second.stragglers)
+        assert [u.client_id for u in first.survivors] == [
+            u.client_id for u in second.survivors
+        ]
+
+    def test_someone_always_survives(self, env_factory):
+        env = env_factory(local_epochs=1)
+        engine = RoundEngine(
+            env, ScenarioConfig(failure_rate=0.95, straggler_rate=0.95)
+        )
+        for round_index in range(1, 6):
+            out = engine.dispatch(self._tasks(env), round_index)
+            assert len(out.survivors) >= 1
+
+    def test_failure_stream_matches_legacy_faulty_executor(self, env_factory):
+        """The scenario middleware draws the exact (seed, 13, round,
+        client) stream the deprecated FaultyExecutor used, so historical
+        faulty runs reproduce under ScenarioConfig."""
+        from repro.fl.failures import FaultyExecutor
+
+        env = env_factory(local_epochs=1)
+        with pytest.warns(DeprecationWarning):
+            legacy = FaultyExecutor(0.5)
+        tasks = self._tasks(env)
+        legacy_alive = [t.client_id for t in legacy.survivors(env, tasks, 3)]
+        engine = RoundEngine(env, ScenarioConfig(failure_rate=0.5))
+        alive, failed = engine._apply_failures(tasks, 3)
+        assert [t.client_id for t in alive] == legacy_alive
+        assert sorted(failed) == sorted(
+            set(range(len(tasks))) - set(legacy_alive)
+        )
+
+    def test_survivor_renormalisation(self, env_factory):
+        """With stragglers dropped, the global average is renormalised
+        over the survivors' sample counts only."""
+        from repro.algorithms.base import cohort_matrix
+        from repro.fl.aggregation import packed_weighted_average
+
+        env = env_factory(local_epochs=1)
+        engine = RoundEngine(env, ScenarioConfig(straggler_rate=0.5))
+        strategy = GlobalModelRounds(env.layout.pack(env.init_state()))
+        history = RunHistory("test", "x", 0)
+        outcomes = []
+        strategy.on_round_end = lambda eng, out: outcomes.append(out)
+        engine.run(strategy, 1, history)
+        survivors = outcomes[0].survivors
+        assert 1 <= len(survivors) < env.federation.n_clients
+        expected = env.layout.round_trip(
+            packed_weighted_average(
+                cohort_matrix(env, survivors), [u.n_samples for u in survivors]
+            )
+        )
+        np.testing.assert_array_equal(strategy.vector, expected)
+
+
+# ----------------------------------------------------------------------
+# Parity pins: the engine reproduces the pre-refactor loops exactly
+# ----------------------------------------------------------------------
+class TestTableOnePins:
+    @pytest.mark.parametrize("name", sorted(_PINS))
+    def test_default_scenario_matches_pre_engine_loops(self, env_factory, name):
+        env = env_factory("serial")
+        result = make_algorithm(name, **_KWARGS[name]).run(env, n_rounds=3)
+        acc, loss, uploaded, downloaded = _PINS[name]
+        assert result.final_accuracy == acc
+        assert result.history.records[-1].mean_train_loss == loss
+        assert env.tracker.total_uploaded == uploaded
+        assert env.tracker.total_downloaded == downloaded
+
+
+# ----------------------------------------------------------------------
+# The scenario matrix is executor-invariant and deterministic
+# ----------------------------------------------------------------------
+_SCENARIOS = {
+    "partial": ScenarioConfig(client_fraction=0.5),
+    "failures": ScenarioConfig(failure_rate=0.3),
+    "partial+failures+stragglers": ScenarioConfig(
+        client_fraction=0.75, failure_rate=0.25, straggler_rate=0.25
+    ),
+}
+
+
+class TestScenarioMatrix:
+    def _run(self, env_factory, executor, scenario, algorithm="fedavg"):
+        env = env_factory(executor, local_epochs=1)
+        try:
+            result = make_algorithm(algorithm, **_KWARGS[algorithm]).run(
+                env, n_rounds=2, scenario=scenario
+            )
+        finally:
+            env.close()
+        return result
+
+    @pytest.mark.parametrize("scenario_name", sorted(_SCENARIOS))
+    @pytest.mark.parametrize("executor", ["thread", "process", "batched"])
+    def test_cells_identical_across_executors(
+        self, env_factory, scenario_name, executor
+    ):
+        scenario = _SCENARIOS[scenario_name]
+        serial = self._run(env_factory, "serial", scenario)
+        other = self._run(env_factory, executor, scenario)
+        np.testing.assert_array_equal(
+            serial.per_client_accuracy, other.per_client_accuracy
+        )
+        assert serial.final_accuracy == other.final_accuracy
+        assert serial.extras["drop_log"] == other.extras["drop_log"]
+        assert serial.extras["straggler_log"] == other.extras["straggler_log"]
+
+    @pytest.mark.parametrize(
+        "algorithm", ["fedprox", "cfl", "ifca", "pacfl", "fedclust", "local_only"]
+    )
+    def test_every_algorithm_completes_deterministically(
+        self, env_factory, algorithm
+    ):
+        scenario = ScenarioConfig(
+            client_fraction=0.75, failure_rate=0.25, straggler_rate=0.25
+        )
+        n_rounds = 3 if algorithm in ("pacfl", "fedclust") else 2
+        env = env_factory("serial", local_epochs=1)
+        first = make_algorithm(algorithm, **_KWARGS[algorithm]).run(
+            env, n_rounds=n_rounds, scenario=scenario
+        )
+        env = env_factory("serial", local_epochs=1)
+        second = make_algorithm(algorithm, **_KWARGS[algorithm]).run(
+            env, n_rounds=n_rounds, scenario=scenario
+        )
+        assert 0.0 <= first.final_accuracy <= 1.0
+        assert first.final_accuracy == second.final_accuracy
+        np.testing.assert_array_equal(
+            first.per_client_accuracy, second.per_client_accuracy
+        )
+        np.testing.assert_array_equal(first.cluster_labels, second.cluster_labels)
+
+    def test_partial_participation_trains_fewer_clients(self, env_factory):
+        result = self._run(
+            env_factory, "serial", ScenarioConfig(client_fraction=0.5)
+        )
+        assert [r.n_participants for r in result.history.records] == [4, 4]
+
+
+# ----------------------------------------------------------------------
+# Arrival events
+# ----------------------------------------------------------------------
+class TestArrivals:
+    def test_eligibility_and_arrival_sets(self, env_factory):
+        env = env_factory(local_epochs=1)
+        engine = RoundEngine(env, ScenarioConfig(arrivals={6: 2, 7: 3}))
+        np.testing.assert_array_equal(engine.eligible_clients(1), np.arange(6))
+        np.testing.assert_array_equal(engine.eligible_clients(2), np.arange(7))
+        np.testing.assert_array_equal(engine.eligible_clients(3), np.arange(8))
+        np.testing.assert_array_equal(engine.arrivals_at(2), [6])
+        np.testing.assert_array_equal(engine.arrivals_at(3), [7])
+        assert engine.arrivals_at(1).size == 0
+
+    def test_fedavg_late_arrival_joins_mid_run(self, env_factory):
+        env = env_factory(local_epochs=1)
+        result = make_algorithm("fedavg").run(
+            env, n_rounds=3, scenario=ScenarioConfig(arrivals={7: 2})
+        )
+        assert [r.n_participants for r in result.history.records] == [7, 8, 8]
+
+    def test_fedclust_onboards_arrival_as_newcomer(self, env_factory, federation):
+        env = env_factory(local_epochs=1)
+        result = make_algorithm("fedclust", **_KWARGS["fedclust"]).run(
+            env, n_rounds=3, scenario=ScenarioConfig(arrivals={7: 2})
+        )
+        fitted = result.extras["fitted"]
+        assert fitted.absent == [7]
+        assert 7 in result.extras["onboarded"]
+        # The arrival was re-routed to the cluster holding its
+        # true-group peers, not left on the fallback label.
+        group = federation.true_groups[7]
+        peers = [
+            int(c) for c in fitted.responders if federation.true_groups[c] == group
+        ]
+        expected = int(np.bincount(result.cluster_labels[peers]).argmax())
+        assert result.cluster_labels[7] == expected
