@@ -32,6 +32,10 @@ from repro.fl.simulation import FederatedEnv
 from repro.utils.logging import enable_console_logging
 
 #: (label, ScenarioConfig) cells for the system-heterogeneity sweep.
+#: The v2 middleware rows: stale folding turns the "late" row's wasted
+#: work into discounted contributions, compute budgets model device
+#: speed spread (FedNova-style steps-taken weighting), and departures
+#: drain the federation mid-run.
 SCENARIOS = [
     ("C=1.0, reliable", ScenarioConfig()),
     ("C=0.5, reliable", ScenarioConfig(client_fraction=0.5)),
@@ -41,7 +45,33 @@ SCENARIOS = [
         "C=0.5, 20% fail, 20% late",
         ScenarioConfig(client_fraction=0.5, failure_rate=0.2, straggler_rate=0.2),
     ),
+    (
+        "C=0.5, 20% late, stale folded",
+        ScenarioConfig(
+            client_fraction=0.5, straggler_rate=0.2, staleness_decay=0.5
+        ),
+    ),
+    (
+        "C=1.0, budgets 2..8 steps",
+        ScenarioConfig(compute_budget=(2, 8)),
+    ),
+    (
+        "C=0.5, budgets + stale",
+        ScenarioConfig(
+            client_fraction=0.5,
+            straggler_rate=0.2,
+            staleness_decay=0.5,
+            compute_budget=(2, 8),
+        ),
+    ),
 ]
+
+
+def departure_scenario(n_clients: int, n_rounds: int) -> ScenarioConfig:
+    """A quarter of the federation departs at the midpoint."""
+    leavers = range(0, n_clients, 4)
+    mid = max(2, n_rounds // 2)
+    return ScenarioConfig(departures={cid: mid for cid in leavers})
 
 
 def run_scenario_sweep(dataset: str, alpha: float, seed: int, scale) -> list[tuple]:
@@ -56,8 +86,11 @@ def run_scenario_sweep(dataset: str, alpha: float, seed: int, scale) -> list[tup
         partition="dirichlet",
         alpha=alpha,
     )
+    cells = SCENARIOS + [
+        ("25% depart mid-run", departure_scenario(scale.n_clients, scale.n_rounds)),
+    ]
     rows = []
-    for label, scenario in SCENARIOS:
+    for label, scenario in cells:
         cell = {}
         for method in ("fedavg", "fedclust"):
             env = FederatedEnv(
@@ -121,7 +154,7 @@ def main() -> None:
 
     if not args.skip_scenarios:
         print(f"\nsystem-heterogeneity sweep (alpha={args.scenario_alpha:g}, "
-              f"seeded scenarios through the round engine):")
+              "seeded scenarios through the round engine):")
         rows = run_scenario_sweep(
             args.dataset, args.scenario_alpha, args.seed, scale
         )

@@ -44,12 +44,12 @@ def main() -> None:
     )
     print()
     print(f"clients 0..{args.clients - 1}; even ids hold classes 0-4, "
-          f"odd ids hold classes 5-9")
+          "odd ids hold classes 5-9")
     print(format_fig1(result))
     best = result.best_layer()
     print(f"\nmost distribution-revealing layer: {best} "
           f"({result.layer_names[best]}) — FedClust uploads exactly this "
-          f"(the final layer) for clustering.")
+          "(the final layer) for clustering.")
 
 
 if __name__ == "__main__":

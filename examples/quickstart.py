@@ -82,7 +82,7 @@ def main() -> None:
     print(
         f"traffic: {comm['bytes'] / 1e6:.1f} MB total; clustering phase uploaded "
         f"only {clustering.get('uploaded', 0) * 4 / 1e3:.1f} KB "
-        f"(partial final-layer weights)"
+        "(partial final-layer weights)"
     )
 
 

@@ -30,7 +30,12 @@ from repro.fl.aggregation import packed_weighted_average
 from repro.fl.client import ClientUpdate
 from repro.fl.history import RunHistory
 from repro.fl.parallel import UpdateTask
-from repro.fl.rounds import RoundEngine, RoundStrategy, ScenarioConfig
+from repro.fl.rounds import (
+    RoundEngine,
+    RoundStrategy,
+    ScenarioConfig,
+    aggregation_weights,
+)
 from repro.fl.simulation import FederatedEnv
 from repro.nn.state_flat import unpack_state
 
@@ -43,6 +48,8 @@ __all__ = [
     "fedavg_round_flat",
     "cohort_matrix",
     "states_for_clients",
+    "survivor_mean_loss",
+    "survivor_weighted_average",
     "tasks_for_groups",
     "evaluate_assignment",
     "run_clustered_training",
@@ -87,6 +94,48 @@ def cohort_matrix(env: FederatedEnv, updates: Sequence) -> np.ndarray:
             for u in updates
         ]
     )
+
+
+def survivor_mean_loss(survivors: Sequence[ClientUpdate]) -> float:
+    """Mean train loss over the survivors that actually trained.
+
+    A zero-budget client reports a fabricated ``0.0`` loss over zero
+    batches; averaging it in would bias the round statistic toward zero
+    (``compute_budget=(0, 0)`` would log perfect convergence while the
+    model never moves).  NaN when nobody took a step.
+    """
+    losses = [u.mean_loss for u in survivors if u.n_batches > 0]
+    return float(np.mean(losses)) if losses else float("nan")
+
+
+def survivor_weighted_average(
+    env: FederatedEnv, updates: Sequence[ClientUpdate]
+) -> np.ndarray | None:
+    """FedAvg rule over a round's survivors, scenario-middleware aware.
+
+    The staleness-aware aggregation primitive every strategy shares:
+    weights come from :func:`repro.fl.rounds.aggregation_weights`
+    (sample counts by default; steps-taken under compute budgets;
+    discounted for stale arrivals) and renormalise over whatever subset
+    was passed in.  Zero-weight updates — e.g. a zero-budget client that
+    took no step — are excluded from the average entirely, so they
+    provably contribute nothing; returns ``None`` when no positive
+    weight remains (the caller keeps its model, as for a dark round).
+
+    Under the default scenario every weight is the sample count, so the
+    result is bit-identical to the historical
+    ``packed_weighted_average(cohort, [u.n_samples ...])`` call.
+    """
+    if not updates:
+        return None
+    weights = aggregation_weights(updates)
+    keep = weights > 0.0
+    if not keep.any():
+        return None
+    if keep.all():
+        return packed_weighted_average(cohort_matrix(env, updates), weights)
+    live = [u for u, k in zip(updates, keep) if k]
+    return packed_weighted_average(cohort_matrix(env, live), weights[keep])
 
 
 @dataclass
@@ -175,12 +224,12 @@ class GlobalModelRounds(RoundStrategy):
             return float("nan")
         env = engine.env
         # One GEMV over the stacked survivor updates; weights
-        # renormalise over whoever made the deadline.
-        new_vector = packed_weighted_average(
-            cohort_matrix(env, survivors), [u.n_samples for u in survivors]
-        )
-        self.vector = env.layout.round_trip(new_vector)
-        return float(np.mean([u.mean_loss for u in survivors]))
+        # renormalise over whoever made the deadline (plus any stale
+        # arrivals, at their discounted weight).
+        new_vector = survivor_weighted_average(env, survivors)
+        if new_vector is not None:
+            self.vector = env.layout.round_trip(new_vector)
+        return survivor_mean_loss(survivors)
 
     def evaluate(
         self, engine: RoundEngine, round_index: int
@@ -245,11 +294,13 @@ class ClusteredRounds(RoundStrategy):
             mine = [u for u in survivors if self.labels[u.client_id] == g]
             if not mine:
                 continue  # cluster went dark this round: keep its model
-            new_vector = packed_weighted_average(
-                cohort_matrix(env, mine), [u.n_samples for u in mine]
-            )
+            new_vector = survivor_weighted_average(env, mine)
+            if new_vector is None:
+                continue  # only zero-weight work arrived: keep its model
             self.matrix[g] = env.layout.round_trip(new_vector)
-            losses.append(float(np.mean([u.mean_loss for u in mine])))
+            cluster_loss = survivor_mean_loss(mine)
+            if not np.isnan(cluster_loss):
+                losses.append(cluster_loss)
         return float(np.mean(losses)) if losses else float("nan")
 
     def evaluate(

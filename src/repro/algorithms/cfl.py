@@ -29,6 +29,12 @@ Implementation notes
   update made the deadline — a bipartition over a partial cohort would
   leave the absentees unassignable.  Aggregation still renormalises
   over whatever subset survived.
+* ``delta_window > 1`` relaxes that: each member's most recent update
+  delta is cached for up to ``W`` rounds, and the split criterion runs
+  on the union of cached deltas once every member is covered — so CFL
+  can split clusters under partial participation, where a full-cohort
+  round might never occur.  Cached deltas are taken against the cluster
+  state of the round that produced them (the windowed approximation).
 """
 
 from __future__ import annotations
@@ -41,15 +47,21 @@ from repro.algorithms.base import (
     FLAlgorithm,
     RunResult,
     cohort_matrix,
+    survivor_mean_loss,
+    survivor_weighted_average,
     tasks_for_groups,
 )
 from repro.cluster.distance import pairwise_cosine_distance
 from repro.cluster.hierarchy import cut_by_k, linkage
-from repro.fl.aggregation import packed_weighted_average
 from repro.fl.client import ClientUpdate
 from repro.fl.history import RunHistory
 from repro.fl.parallel import UpdateTask
-from repro.fl.rounds import RoundEngine, RoundStrategy, ScenarioConfig
+from repro.fl.rounds import (
+    RoundEngine,
+    RoundStrategy,
+    ScenarioConfig,
+    aggregation_weights,
+)
 from repro.fl.simulation import FederatedEnv
 from repro.utils.validation import check_in, check_positive
 
@@ -64,12 +76,21 @@ class _Cluster:
     environment's layout — CFL rides the flat plane end to end, so the
     broadcast payload, the Δ baseline and the evaluation input are all
     this one buffer.
+
+    ``delta_cache`` (windowed-split mode only, ``delta_window > 1``)
+    holds each member's most recent update delta as
+    ``client_id → (round, Δ row, sample count)``; entries age out of
+    the window each round, and the split criterion runs on the union of
+    cached deltas once every member is covered.
     """
 
     state: np.ndarray
     members: np.ndarray
-    scale0: float | None = None  # first-round max update norm
+    scale0: float | None = None  # first coverage's max update norm
     history_of_splits: list[int] = field(default_factory=list)
+    delta_cache: dict[int, tuple[int, np.ndarray, float]] = field(
+        default_factory=dict
+    )
 
 
 class _CFLRounds(RoundStrategy):
@@ -107,10 +128,13 @@ class _CFLRounds(RoundStrategy):
                 continue
             incoming = cluster.state
             cohort = cohort_matrix(env, mine)
-            new_state = env.layout.round_trip(
-                packed_weighted_average(cohort, [u.n_samples for u in mine])
+            averaged = survivor_weighted_average(env, mine)
+            new_state = (
+                incoming if averaged is None else env.layout.round_trip(averaged)
             )
-            losses.append(float(np.mean([u.mean_loss for u in mine])))
+            cluster_loss = survivor_mean_loss(mine)
+            if not np.isnan(cluster_loss):
+                losses.append(cluster_loss)
             # Update vectors Δ_i = local − incoming on the flat plane:
             # one row-broadcast subtraction over the round's packed
             # cohort instead of a per-key dict loop.  The subtraction
@@ -119,43 +143,127 @@ class _CFLRounds(RoundStrategy):
             # split margins agree to float32 round-off; the parity test
             # pins the split decisions.
             deltas = cohort - incoming
-            weights = np.array([u.n_samples for u in mine], dtype=np.float64)
-            weights /= weights.sum()
-            mean_norm = float(np.linalg.norm(weights @ deltas))
-            norms = np.linalg.norm(deltas, axis=1)
-            max_norm = float(norms.max())
-            # Splits (and the scale₀ baseline the relative criterion
-            # compares against) need the full cohort: with absentees the
-            # max-norm is taken over a subset — a missing client could
-            # have carried the largest delta — and a bipartition would
-            # leave the absentees on neither side.
-            full_house = len(mine) == len(cluster.members)
-            if cluster.scale0 is None and full_house:
-                cluster.scale0 = max_norm
-
-            if full_house and algo._should_split(
-                cluster, mean_norm, max_norm, round_index
-            ):
-                left, right = algo._bipartition(deltas)
-                if (
-                    len(left) >= algo.min_cluster_size
-                    and len(right) >= algo.min_cluster_size
-                ):
-                    for side in (left, right):
-                        next_clusters.append(
-                            _Cluster(
-                                state=new_state.copy(),
-                                members=cluster.members[side],
-                                scale0=cluster.scale0,
-                                history_of_splits=cluster.history_of_splits
-                                + [round_index],
-                            )
+            if algo.delta_window > 1:
+                split = self._windowed_split_sides(
+                    cluster, mine, deltas, round_index
+                )
+            else:
+                split = self._full_house_split_sides(
+                    cluster, mine, deltas, round_index
+                )
+            if split is not None:
+                left, right = split
+                for side in (left, right):
+                    next_clusters.append(
+                        _Cluster(
+                            state=new_state.copy(),
+                            members=cluster.members[side],
+                            scale0=cluster.scale0,
+                            history_of_splits=cluster.history_of_splits
+                            + [round_index],
                         )
-                    continue
+                    )
+                continue
             cluster.state = new_state
             next_clusters.append(cluster)
         self.clusters = next_clusters
-        return float(np.mean(losses))
+        return float(np.mean(losses)) if losses else float("nan")
+
+    # ------------------------------------------------------------------
+    # Split candidates: one-round full cohort vs windowed delta cache
+    # ------------------------------------------------------------------
+    def _full_house_split_sides(
+        self,
+        cluster: _Cluster,
+        mine: list[ClientUpdate],
+        deltas: np.ndarray,
+        round_index: int,
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """The PR-4 criterion: split only on full-cohort rounds.
+
+        Splits (and the scale₀ baseline the relative criterion compares
+        against) need the full cohort: with absentees the max-norm is
+        taken over a subset — a missing client could have carried the
+        largest delta — and a bipartition would leave the absentees on
+        neither side.
+        """
+        algo = self.algo
+        weights = np.array([u.n_samples for u in mine], dtype=np.float64)
+        weights /= weights.sum()
+        mean_norm = float(np.linalg.norm(weights @ deltas))
+        norms = np.linalg.norm(deltas, axis=1)
+        max_norm = float(norms.max())
+        full_house = len(mine) == len(cluster.members)
+        if cluster.scale0 is None and full_house:
+            cluster.scale0 = max_norm
+        if not full_house or not algo._should_split(
+            cluster, mean_norm, max_norm, round_index
+        ):
+            return None
+        return self._admissible(algo._bipartition(deltas))
+
+    def _windowed_split_sides(
+        self,
+        cluster: _Cluster,
+        mine: list[ClientUpdate],
+        deltas: np.ndarray,
+        round_index: int,
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Split on the union of the last ``delta_window`` rounds' deltas.
+
+        Under partial participation a full-cohort round may never happen,
+        so each member's most recent Δ is cached for up to ``W`` rounds
+        and the split criterion runs once the cache covers every member.
+        The cached deltas are taken against the cluster state of the
+        round they were produced in — the windowed approximation accepts
+        that baseline drift in exchange for split decisions at low ``C``.
+        Updates that carry no aggregation weight (zero-budget clients:
+        zero steps, zero delta) contribute no signal and are not cached.
+        """
+        algo = self.algo
+        update_weights = aggregation_weights(mine)
+        for update, row, weight in zip(mine, deltas, update_weights):
+            if weight > 0.0:
+                # Copy the row out of the round's (cohort × n_params)
+                # delta matrix: caching the view would pin the whole
+                # matrix alive until the entry ages out — W full cohort
+                # matrices per cluster instead of one vector per member.
+                cluster.delta_cache[update.client_id] = (
+                    round_index,
+                    row.copy(),
+                    float(update.n_samples),
+                )
+        horizon = round_index - algo.delta_window
+        cluster.delta_cache = {
+            cid: entry
+            for cid, entry in cluster.delta_cache.items()
+            if entry[0] > horizon
+        }
+        if any(cid not in cluster.delta_cache for cid in cluster.members):
+            return None  # window does not cover the cohort yet
+        cached = [cluster.delta_cache[int(cid)] for cid in cluster.members]
+        delta_mat = np.stack([entry[1] for entry in cached])
+        weights = np.array([entry[2] for entry in cached], dtype=np.float64)
+        weights /= weights.sum()
+        mean_norm = float(np.linalg.norm(weights @ delta_mat))
+        max_norm = float(np.linalg.norm(delta_mat, axis=1).max())
+        if cluster.scale0 is None:
+            cluster.scale0 = max_norm
+        if not algo._should_split(cluster, mean_norm, max_norm, round_index):
+            return None
+        return self._admissible(algo._bipartition(delta_mat))
+
+    def _admissible(
+        self, sides: tuple[np.ndarray, np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """A bipartition both halves of which satisfy the size floor."""
+        left, right = sides
+        if (
+            len(left) >= self.algo.min_cluster_size
+            and len(right) >= self.algo.min_cluster_size
+        ):
+            return left, right
+        return None
 
     def evaluate(
         self, engine: RoundEngine, round_index: int
@@ -195,6 +303,15 @@ class CFL(FLAlgorithm):
         Never create a cluster smaller than this.
     norm_mode:
         ``"relative"`` (default, scale-free) or ``"absolute"``.
+    delta_window:
+        ``1`` (default) reproduces the classic criterion: a cluster only
+        considers splitting in rounds where every member's update made
+        the deadline — which under partial participation may be never.
+        With ``W > 1`` the cluster caches each member's most recent
+        update delta for up to ``W`` rounds and splits on the union of
+        the cached deltas once every member is covered, restoring splits
+        at low client fractions.  Each cached row costs one ``n_params``
+        float64 vector until it ages out.
     """
 
     name = "cfl"
@@ -206,17 +323,20 @@ class CFL(FLAlgorithm):
         warmup_rounds: int = 3,
         min_cluster_size: int = 2,
         norm_mode: str = "relative",
+        delta_window: int = 1,
     ) -> None:
         check_positive("eps1", eps1)
         check_positive("eps2", eps2)
         check_positive("warmup_rounds", warmup_rounds)
         check_positive("min_cluster_size", min_cluster_size)
         check_in("norm_mode", norm_mode, ("relative", "absolute"))
+        check_positive("delta_window", delta_window)
         self.eps1 = eps1
         self.eps2 = eps2
         self.warmup_rounds = warmup_rounds
         self.min_cluster_size = min_cluster_size
         self.norm_mode = norm_mode
+        self.delta_window = int(delta_window)
 
     # ------------------------------------------------------------------
     def _should_split(

@@ -61,7 +61,7 @@ class FedAvg(FLAlgorithm):
             )
         if scenario.client_fraction != self.client_fraction:
             raise ValueError(
-                f"conflicting client fractions: constructor set "
+                "conflicting client fractions: constructor set "
                 f"{self.client_fraction}, scenario set "
                 f"{scenario.client_fraction} — configure it in one place"
             )
@@ -95,5 +95,10 @@ class FedAvg(FLAlgorithm):
             per_client_accuracy=per_client,
             cluster_labels=np.zeros(m, dtype=np.int64),
             comm=env.tracker.by_phase() | {"total": env.tracker.snapshot()},
-            extras={"drop_log": engine.drop_log, "straggler_log": engine.straggler_log},
+            extras={
+                "drop_log": engine.drop_log,
+                "straggler_log": engine.straggler_log,
+                "stale_log": engine.stale_log,
+                "departure_log": engine.departure_log,
+            },
         )

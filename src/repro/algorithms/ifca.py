@@ -21,9 +21,9 @@ import numpy as np
 from repro.algorithms.base import (
     FLAlgorithm,
     RunResult,
-    cohort_matrix,
+    survivor_mean_loss,
+    survivor_weighted_average,
 )
-from repro.fl.aggregation import packed_weighted_average
 from repro.fl.client import ClientUpdate
 from repro.fl.eval_flat import fused_evaluate
 from repro.fl.history import RunHistory
@@ -53,6 +53,10 @@ class _IFCARounds(RoundStrategy):
         self, engine: RoundEngine, round_index: int, participants: np.ndarray
     ) -> list[UpdateTask]:
         env = engine.env
+        if participants.size == 0:
+            # A trace can schedule a fully-dark round: nothing to probe,
+            # nothing to broadcast, every label and model stays put.
+            return []
         # Broadcast all k models to every participant (the k× download;
         # the engine charges the 1× baseline in dispatch, the k−1 extra
         # probe copies are recorded here).  Task payloads are the packed
@@ -78,13 +82,14 @@ class _IFCARounds(RoundStrategy):
             mine = [u for u in survivors if self.labels[u.client_id] == j]
             if not mine:
                 continue  # empty cluster keeps its previous model
-            # Per-cluster FedAvg on the flat plane: row-gather + GEMV.
-            vector = packed_weighted_average(
-                cohort_matrix(env, mine), [u.n_samples for u in mine]
-            )
-            self.states[j] = env.layout.round_trip(vector)
-            losses.extend(u.mean_loss for u in mine)
-        return float(np.mean(losses))
+            # Per-cluster FedAvg on the flat plane: row-gather + GEMV;
+            # weights are staleness/budget-aware (see
+            # survivor_weighted_average).
+            vector = survivor_weighted_average(env, mine)
+            if vector is not None:
+                self.states[j] = env.layout.round_trip(vector)
+            losses.extend(u.mean_loss for u in mine if u.n_batches > 0)
+        return float(np.mean(losses)) if losses else float("nan")
 
     def evaluate(
         self, engine: RoundEngine, round_index: int

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import FLAlgorithm, RunResult
+from repro.algorithms.base import FLAlgorithm, RunResult, survivor_mean_loss
 from repro.fl.client import ClientUpdate
 from repro.fl.history import RunHistory
 from repro.fl.parallel import UpdateTask
@@ -52,7 +52,7 @@ class _LocalRounds(RoundStrategy):
             return float("nan")
         for update in survivors:
             self.states[update.client_id] = dict(update.state)
-        return float(np.mean([u.mean_loss for u in survivors]))
+        return survivor_mean_loss(survivors)
 
     def evaluate(
         self, engine: RoundEngine, round_index: int

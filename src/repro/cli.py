@@ -89,6 +89,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--straggler-rate", type=float, default=0.0,
                    help="seeded per-(round, client) deadline-miss rate "
                         "(trains and uploads, excluded from aggregation)")
+    p.add_argument("--staleness-decay", type=float, default=0.0,
+                   help="fold straggler updates into the next round's "
+                        "aggregation at weight x decay^age (0 = discard, "
+                        "the classic behaviour)")
+    p.add_argument("--compute-budget", type=int, nargs="+", default=None,
+                   metavar="STEPS",
+                   help="per-(round, client) local step budget: one int for "
+                        "a fixed cap, two for a seeded uniform [lo, hi] "
+                        "draw; partial work is kept and aggregation "
+                        "renormalises by steps taken")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="availability-trace JSON (client id -> available "
+                        "rounds; see repro.fl.trace) replayed as the "
+                        "participation schedule")
     return parser
 
 
@@ -187,14 +201,25 @@ def _cmd_run(args: argparse.Namespace) -> dict:
     from repro.fl.parallel import make_executor
     from repro.fl.rounds import ScenarioConfig
     from repro.fl.simulation import FederatedEnv
+    from repro.fl.trace import AvailabilityTrace
 
     scale = get_scale(args.scale)
+    budget = args.compute_budget
+    if budget is not None:
+        if len(budget) > 2:
+            raise SystemExit(
+                f"--compute-budget takes one or two ints, got {budget}"
+            )
+        budget = (budget[0], budget[-1])
     # Scenario policy composes with every algorithm through the round
     # engine — not just FedAvg's constructor fraction.
     scenario = ScenarioConfig(
         client_fraction=args.client_fraction,
         failure_rate=args.failure_rate,
         straggler_rate=args.straggler_rate,
+        staleness_decay=args.staleness_decay,
+        compute_budget=budget,
+        trace=AvailabilityTrace.load(args.trace) if args.trace else None,
     )
     n_clients = args.clients or scale.n_clients
     n_rounds = args.rounds or scale.n_rounds
@@ -239,6 +264,9 @@ def _cmd_run(args: argparse.Namespace) -> dict:
             "client_fraction": args.client_fraction,
             "failure_rate": args.failure_rate,
             "straggler_rate": args.straggler_rate,
+            "staleness_decay": args.staleness_decay,
+            "compute_budget": list(budget) if budget else None,
+            "trace": args.trace,
         },
         "history": result.history.to_dict(),
     }

@@ -78,7 +78,7 @@ def resolve_selection_keys(model: Module, selection: str) -> list[str]:
         return layer_index_keys(model, int(selection.split(":", 1)[1]))[1]
     raise ValueError(
         f"unknown weight selection {selection!r}; use 'final_layer', 'all', "
-        f"'layer:<name>' or 'index:<i>'"
+        "'layer:<name>' or 'index:<i>'"
     )
 
 
@@ -332,7 +332,7 @@ class FedClust(FLAlgorithm):
         responders = np.array(sorted(updates_by_client), dtype=np.int64)
         if responders.size < 2:
             raise RuntimeError(
-                f"clustering round needs >= 2 responding clients, got "
+                "clustering round needs >= 2 responding clients, got "
                 f"{responders.size} (stragglers: {stragglers})"
             )
 

@@ -167,7 +167,7 @@ def build_federation(
     else:
         raise ValueError(
             f"unknown partition {partition!r}; options: dirichlet, shard, "
-            f"label_cluster, iid"
+            "label_cluster, iid"
         )
     check_partition(parts, len(dataset))
 

@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.algorithms.registry import make_algorithm
 from repro.cluster.hierarchy import LINKAGE_METHODS
 from repro.cluster.metrics import adjusted_rand_index, group_separability

@@ -17,7 +17,7 @@ classifier) in the 16-weighted-layer VGG layout.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

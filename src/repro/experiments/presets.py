@@ -18,7 +18,7 @@ Table-I harness so that results are comparable across benches.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.clustering import ClusteringConfig
 from repro.fl.config import TrainConfig

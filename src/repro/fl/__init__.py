@@ -47,8 +47,10 @@ from repro.fl.rounds import (
     RoundOutcome,
     RoundStrategy,
     ScenarioConfig,
+    aggregation_weights,
 )
 from repro.fl.sampling import full_participation, sample_from, uniform_sample
+from repro.fl.trace import AvailabilityTrace
 from repro.fl.simulation import FederatedEnv
 from repro.fl.train_flat import plan_cohort_schedule, supports_batched, train_cohort_flat
 
@@ -92,6 +94,8 @@ __all__ = [
     "RoundOutcome",
     "RoundStrategy",
     "ScenarioConfig",
+    "aggregation_weights",
+    "AvailabilityTrace",
     "full_participation",
     "sample_from",
     "uniform_sample",

@@ -38,6 +38,14 @@ class ClientUpdate:
     aggregation consumes it directly so no per-key repacking happens on
     the server.  Executors always populate it; it defaults to ``None``
     only for hand-built updates in tests and external code.
+
+    ``weight`` is the update's effective aggregation weight when
+    scenario middleware overrides the historical sample-count weighting
+    (compute budgets weight by steps taken; stale folding multiplies in
+    the staleness discount).  ``None`` — the default, and the only value
+    executors ever produce — means "weight by ``n_samples``", exactly
+    the pre-middleware rule; see
+    :func:`repro.fl.rounds.aggregation_weights`.
     """
 
     client_id: int
@@ -46,6 +54,7 @@ class ClientUpdate:
     mean_loss: float
     n_batches: int
     flat: np.ndarray | None = None
+    weight: float | None = None
 
 
 def local_train(

@@ -11,7 +11,13 @@ __all__ = ["RoundRecord", "RunHistory"]
 
 @dataclass
 class RoundRecord:
-    """Metrics for one communication round."""
+    """Metrics for one communication round.
+
+    ``n_stale`` counts stale (previous-round straggler) updates folded
+    into this round's aggregation; ``n_departed`` counts clients whose
+    departure round is this one.  Both stay 0 under scenarios that do
+    not exercise the middleware.
+    """
 
     round_index: int
     mean_train_loss: float
@@ -21,6 +27,8 @@ class RoundRecord:
     uploaded_params: int
     downloaded_params: int
     wall_seconds: float = 0.0
+    n_stale: int = 0
+    n_departed: int = 0
 
 
 @dataclass
@@ -68,6 +76,14 @@ class RunHistory:
             [r.uploaded_params + r.downloaded_params for r in self.records]
         )
 
+    def stale_curve(self) -> np.ndarray:
+        """Stale updates folded per round (all zeros without staleness)."""
+        return np.array([r.n_stale for r in self.records], dtype=np.int64)
+
+    def departure_curve(self) -> np.ndarray:
+        """Departures per round (all zeros without departure events)."""
+        return np.array([r.n_departed for r in self.records], dtype=np.int64)
+
     def rounds_to_accuracy(self, target: float) -> int | None:
         """First 1-based round reaching ``target`` accuracy, or ``None``."""
         for record in self.records:
@@ -95,4 +111,6 @@ class RunHistory:
             "accuracy_curve": self.accuracy_curve().tolist(),
             "loss_curve": self.loss_curve().tolist(),
             "comm_curve": self.comm_curve().tolist(),
+            "n_stale_total": int(self.stale_curve().sum()),
+            "n_departed_total": int(self.departure_curve().sum()),
         }

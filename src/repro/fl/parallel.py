@@ -66,18 +66,32 @@ class UpdateTask:
     pack each distinct state object once.  ``flat`` short-circuits that
     packing when the caller already holds the packed vector — flat-plane
     algorithms pass only ``flat`` and leave ``state`` as ``None``.
+
+    ``max_steps`` caps this client's local SGD at that many total steps
+    (``None`` = the training config's own schedule).  The round engine's
+    compute-budget middleware stamps it per (round, client); every
+    executor honours it identically — the batched executor via the
+    cohort planner's per-client step masks, the others by tightening the
+    training config.  A cap of ``0`` means the client does no local work
+    and returns the broadcast state unchanged (``n_batches == 0``).
     """
 
     client_id: int
     state: Mapping[str, np.ndarray] | None = None
     prox_mu: float = 0.0
     flat: np.ndarray | None = None
+    max_steps: int | None = None
 
     def __post_init__(self) -> None:
         if self.state is None and self.flat is None:
             raise ValueError(
                 f"task for client {self.client_id} needs a state dict or a "
-                f"packed flat vector"
+                "packed flat vector"
+            )
+        if self.max_steps is not None and self.max_steps < 0:
+            raise ValueError(
+                f"task for client {self.client_id}: max_steps must be >= 0, "
+                f"got {self.max_steps}"
             )
 
 
@@ -109,6 +123,45 @@ def _pack_tasks(
     return vectors
 
 
+def _budgeted_cfg(cfg, max_steps: int | None):
+    """The training config with a task-level step budget folded in.
+
+    ``None`` (no budget) and caps at or above the config's own
+    ``max_steps`` leave the config object untouched, so the default path
+    never copies.  Callers must handle ``max_steps == 0`` themselves
+    (``TrainConfig`` requires positive step counts — a zero-step round
+    is "skip training", not a degenerate schedule).
+    """
+    if max_steps is None:
+        return cfg
+    if cfg.max_steps is not None and cfg.max_steps <= max_steps:
+        return cfg
+    import dataclasses
+
+    return dataclasses.replace(cfg, max_steps=max_steps)
+
+
+def _zero_budget_update(
+    env: "FederatedEnv", task: UpdateTask, vector: np.ndarray
+) -> ClientUpdate:
+    """The update of a client whose compute budget was zero steps.
+
+    Bit-identical to what any executor would produce for "load the
+    broadcast, take no step, snapshot": the state is the broadcast
+    rounded through the parameter dtypes (``layout.round_trip``), the
+    loss is 0 over 0 batches.
+    """
+    flat = env.layout.round_trip(vector)
+    return ClientUpdate(
+        client_id=task.client_id,
+        state=env.layout.unpack(flat),
+        n_samples=len(env.federation.clients[task.client_id].train),
+        mean_loss=0.0,
+        n_batches=0,
+        flat=flat,
+    )
+
+
 def _run_flat(
     env: "FederatedEnv",
     model,
@@ -116,13 +169,15 @@ def _run_flat(
     vector: np.ndarray,
     round_index: int,
 ) -> ClientUpdate:
+    if task.max_steps == 0:
+        return _zero_budget_update(env, task, vector)
     return run_client_update_flat(
         model,
         task.client_id,
         env.federation.clients[task.client_id].train,
         vector,
         env.layout,
-        env.train_cfg,
+        _budgeted_cfg(env.train_cfg, task.max_steps),
         rng_for(env.seed, 1, round_index, task.client_id),
         prox_mu=task.prox_mu,
     )
@@ -195,7 +250,7 @@ def _process_worker_init(env: "FederatedEnv") -> None:
 
 
 def _process_worker_run(
-    args: tuple[int, bytes, float, int, object],
+    args: tuple[int, bytes, float, int, object, int | None],
 ) -> tuple[int, bytes, int, float, int]:
     """One task in a worker: decode → train → encode.
 
@@ -205,19 +260,29 @@ def _process_worker_run(
     a snapshot from pool creation, so trusting ``env.train_cfg`` would
     miss parent-side overrides (e.g. FedClust's warm-up config, which is
     swapped in only for the clustering round — forking mid-round used to
-    freeze it into the workers for every later round).
+    freeze it into the workers for every later round).  The per-task
+    step budget rides along the same way.
     """
-    client_id, payload, prox_mu, round_index, train_cfg = args
+    client_id, payload, prox_mu, round_index, train_cfg, max_steps = args
     env = _WORKER_ENV
     assert env is not None, "worker initializer did not run"
     vector = decode_flat_payload(payload, env.layout)
+    if max_steps == 0:
+        flat = env.layout.round_trip(vector)
+        return (
+            client_id,
+            encode_flat_payload(flat, env.layout),
+            len(env.federation.clients[client_id].train),
+            0.0,
+            0,
+        )
     update = run_client_update_flat(
         env.scratch_model,
         client_id,
         env.federation.clients[client_id].train,
         vector,
         env.layout,
-        train_cfg,
+        _budgeted_cfg(train_cfg, max_steps),
         rng_for(env.seed, 1, round_index, client_id),
         prox_mu=prox_mu,
     )
@@ -272,7 +337,14 @@ class ProcessClientExecutor:
                 buf = encode_flat_payload(vec, env.layout)
                 encoded[id(vec)] = buf
             payload.append(
-                (task.client_id, buf, task.prox_mu, round_index, env.train_cfg)
+                (
+                    task.client_id,
+                    buf,
+                    task.prox_mu,
+                    round_index,
+                    env.train_cfg,
+                    task.max_steps,
+                )
             )
         updates = []
         for client_id, buf, n_samples, mean_loss, n_batches in pool.map(
@@ -350,6 +422,7 @@ class BatchedClientExecutor:
                 vectors[members[0]],
                 round_index,
                 prox_mu=prox_mu,
+                max_steps=[tasks[i].max_steps for i in members],
             )
             self.last_dispatch["batched"] += len(members)
             for i, update in zip(members, updates):

@@ -30,19 +30,54 @@ never on the executor or the payload format:
   charged — but never trains or uploads;
 * **stragglers** — seeded post-training drops on an independent stream.
   A straggler trains and uploads, but its update arrives after the
-  aggregation deadline: both transfers are charged, the update is
-  discarded, and aggregation weights renormalise over the survivors
+  aggregation deadline: both transfers are charged, the update misses
+  this round, and aggregation weights renormalise over the survivors
   (``packed_weighted_average`` normalises by the surviving sample
   counts, so renormalisation is automatic);
+* **stale updates** — with ``staleness_decay > 0`` a straggler's
+  finished work is not discarded: the engine buffers the late update
+  and folds it into the *next* round's aggregation with its weight
+  multiplied by ``staleness_decay ** age`` (age in rounds).  A client
+  that produces a fresh update before its stale one is folded
+  supersedes it (the buffered copy is dropped), so aggregation never
+  sees two updates from one client.  Weights renormalise over
+  survivors + stale arrivals automatically;
+* **compute budgets** — deadline as computation, not time: with
+  ``compute_budget=(lo, hi)`` every participant draws a seeded
+  per-(round, client) local step cap from ``[lo, hi]`` and its local
+  training is truncated there.  Partial work is **kept** — the client
+  uploads whatever it reached — and aggregation switches to
+  FedNova-style renormalisation by steps actually taken (each update's
+  weight is its step count, so the denominator is the cohort's total
+  steps and a zero-budget client provably contributes nothing);
 * **arrivals** — clients that join the federation mid-run.  They are
   ineligible for participation before their arrival round; strategies
   are told via ``on_arrivals`` (FedClust routes this into its newcomer
-  onboarding).
+  onboarding);
+* **departures** — the dual of arrivals: a client with departure round
+  ``r`` is ineligible from round ``r`` on (it must depart strictly
+  after it arrived).  Strategies are told via ``on_departures``; a
+  departed client's already-uploaded stale update still folds (the
+  server holds it), and evaluation keeps covering the client — its
+  data did not leave the benchmark, only its participation;
+* **availability traces** — the fully-explicit schedule: a replayable
+  ``client_id → available-round-set`` mapping
+  (:class:`repro.fl.trace.AvailabilityTrace`, JSON on disk, loadable
+  from the CLI via ``--trace``) that subsumes arrivals, departures and
+  recorded blackout rounds.  Traces compose with the other knobs by
+  intersection; a trace absence charges no traffic (the client was
+  never contacted — unlike a failure, which consumed the broadcast).
 
-At least one participant always survives a round (a fully-dark round
-would deadlock aggregation; a real server would re-broadcast instead) —
-the deterministically-first client by id is kept, mirroring the
-historical ``FaultyExecutor`` guarantee.
+At least one participant always survives a *dispatched* round (a round
+whose whole cohort fails or misses the deadline would deadlock
+aggregation; a real server would re-broadcast instead) — the
+deterministically-first client by id is kept, mirroring the historical
+``FaultyExecutor`` guarantee.  The guarantee is about the middleware,
+not the schedule: an availability trace may legitimately leave a round
+with **no eligible clients at all** (a replayed federation can go
+fully dark).  Such a round dispatches nothing; every strategy keeps
+its state and logs a NaN train loss, and evaluation still runs on its
+cadence.
 
 Under the default scenario (full participation, no failures) the engine
 performs exactly the tracker calls and aggregation arithmetic of the
@@ -64,6 +99,7 @@ from repro.fl.client import ClientUpdate
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.parallel import UpdateTask
 from repro.fl.sampling import sample_from, uniform_sample
+from repro.fl.trace import AvailabilityTrace
 from repro.utils.rng import rng_for
 from repro.utils.validation import check_fraction, check_positive
 
@@ -73,11 +109,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "FAILURE_TAG",
     "STRAGGLER_TAG",
+    "BUDGET_TAG",
     "ScenarioConfig",
     "DispatchOutcome",
     "RoundOutcome",
     "RoundStrategy",
     "RoundEngine",
+    "aggregation_weights",
 ]
 
 #: rng_for namespace tag of the failure stream.  Value 13 is load-bearing:
@@ -86,6 +124,28 @@ __all__ = [
 FAILURE_TAG = 13
 #: Straggler draws use an independent stream.
 STRAGGLER_TAG = 17
+#: Per-(round, client) compute-budget draws use their own stream.
+BUDGET_TAG = 19
+
+
+def aggregation_weights(updates: Sequence[ClientUpdate]) -> np.ndarray:
+    """Effective aggregation weight per update, as a float64 vector.
+
+    The one place scenario middleware bends the FedAvg weighting rule:
+    an update whose ``weight`` is set carries it (compute budgets set it
+    to the steps actually taken, stale folding multiplies in the
+    staleness discount); everything else falls back to the historical
+    sample count.  Strategies must renormalise over whatever subset they
+    aggregate — :func:`repro.fl.aggregation.packed_weighted_average`
+    normalises by the weight sum, so passing this vector does it.
+    """
+    return np.array(
+        [
+            u.weight if u.weight is not None else float(u.n_samples)
+            for u in updates
+        ],
+        dtype=np.float64,
+    )
 
 
 @dataclass(frozen=True)
@@ -112,6 +172,31 @@ class ScenarioConfig:
         ineligible for participation in rounds before its arrival round;
         strategies learn about arrivals via
         :meth:`RoundStrategy.on_arrivals`.
+    staleness_decay:
+        ``0`` (default) discards straggler updates exactly as before.
+        A value in ``(0, 1]`` enables stale-update folding: a
+        straggler's update is buffered and folded into the next round's
+        aggregation with its weight multiplied by ``decay ** age``
+        (age in rounds; normally 1).  ``1.0`` means "late but
+        undiscounted".
+    compute_budget:
+        ``None`` (default) leaves local schedules untouched.  A pair
+        ``(lo, hi)`` (or a single int, shorthand for ``(b, b)``) caps
+        every participant's local SGD at a seeded per-(round, client)
+        step count drawn uniformly from ``[lo, hi]``.  Partial work is
+        kept and aggregation weights become the steps actually taken
+        (FedNova-style); a zero-step draw contributes no update.
+    departures:
+        ``client_id → departure round``: the client is ineligible from
+        that round on.  A departure must come strictly after the
+        client's arrival round (default arrival: round 1), so the
+        earliest legal departure is round 2 for a founding client.
+    trace:
+        An :class:`repro.fl.trace.AvailabilityTrace` (or a plain
+        ``client_id → iterable-of-rounds`` mapping, coerced) naming
+        exactly which rounds each listed client is reachable; unlisted
+        clients are always on.  Composes with arrivals/departures by
+        intersection.
     """
 
     client_fraction: float = 1.0
@@ -119,6 +204,10 @@ class ScenarioConfig:
     failure_rate: float = 0.0
     straggler_rate: float = 0.0
     arrivals: Mapping[int, int] | None = None
+    staleness_decay: float = 0.0
+    compute_budget: tuple[int, int] | int | None = None
+    departures: Mapping[int, int] | None = None
+    trace: AvailabilityTrace | Mapping | None = None
 
     def __post_init__(self) -> None:
         check_fraction("client_fraction", self.client_fraction)
@@ -132,6 +221,39 @@ class ScenarioConfig:
             bad = {c: r for c, r in self.arrivals.items() if int(r) < 1}
             if bad:
                 raise ValueError(f"arrival rounds must be >= 1, got {bad}")
+        if not 0.0 <= self.staleness_decay <= 1.0:
+            raise ValueError(
+                f"staleness_decay must be in [0, 1], got {self.staleness_decay!r}"
+            )
+        if self.compute_budget is not None:
+            budget = self.compute_budget
+            if isinstance(budget, (int, np.integer)):
+                budget = (int(budget), int(budget))
+            else:
+                budget = tuple(int(b) for b in budget)
+            if len(budget) != 2:
+                raise ValueError(
+                    "compute_budget must be an int or a (lo, hi) pair, "
+                    f"got {self.compute_budget!r}"
+                )
+            lo, hi = budget
+            if lo < 0 or hi < lo:
+                raise ValueError(
+                    f"compute_budget needs 0 <= lo <= hi, got ({lo}, {hi})"
+                )
+            object.__setattr__(self, "compute_budget", (lo, hi))
+        if self.departures:
+            arrivals = self.arrivals or {}
+            for cid, dep in self.departures.items():
+                arrival = int(arrivals.get(cid, 1))
+                if int(dep) <= arrival:
+                    raise ValueError(
+                        f"client {cid} departs in round {dep} but only arrives "
+                        f"in round {arrival} — departures must come strictly "
+                        "after arrival"
+                    )
+        if self.trace is not None and not isinstance(self.trace, AvailabilityTrace):
+            object.__setattr__(self, "trace", AvailabilityTrace(self.trace))
 
     @property
     def is_default(self) -> bool:
@@ -141,16 +263,46 @@ class ScenarioConfig:
             and self.failure_rate == 0.0
             and self.straggler_rate == 0.0
             and not self.arrivals
+            and self.staleness_decay == 0.0
+            and self.compute_budget is None
+            and not self.departures
+            and self.trace is None
         )
+
+    def validate_for(self, n_clients: int) -> None:
+        """Reject client ids outside ``[0, n_clients)`` in any schedule.
+
+        Called by the engine at construction (the config itself cannot
+        know the federation size): a trace, arrival or departure that
+        names an unknown client is a configuration error, not a client
+        that silently never materialises.
+        """
+        for name, ids in (
+            ("arrivals", self.arrivals or {}),
+            ("departures", self.departures or {}),
+            ("trace", self.trace.clients if self.trace is not None else ()),
+        ):
+            bad = sorted(int(c) for c in ids if not 0 <= int(c) < n_clients)
+            if bad:
+                raise ValueError(
+                    f"{name} references unknown client ids {bad} — this "
+                    f"federation has clients 0..{n_clients - 1}"
+                )
 
 
 @dataclass
 class DispatchOutcome:
-    """What came back from one dispatched task list."""
+    """What came back from one dispatched task list.
+
+    ``late`` holds the straggler updates themselves — populated only
+    when stale folding is on (the default path must not keep dead
+    updates alive across the next round's cohort allocation).
+    """
 
     survivors: list[ClientUpdate]
     failed: np.ndarray
     stragglers: np.ndarray
+    late: list[ClientUpdate] = field(default_factory=list)
 
 
 @dataclass
@@ -166,6 +318,11 @@ class RoundOutcome:
     train_loss: float
     evaluated: bool
     mean_accuracy: float
+    #: Client ids whose stale (previous-round) updates were folded into
+    #: this round's aggregation.
+    stale: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    #: Client ids that departed at the start of this round.
+    departed: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
 
 
 class RoundStrategy(abc.ABC):
@@ -221,6 +378,17 @@ class RoundStrategy(abc.ABC):
     ) -> None:
         """Clients newly present this round (before participant selection)."""
 
+    def on_departures(
+        self, engine: "RoundEngine", round_index: int, departed: np.ndarray
+    ) -> None:
+        """Clients gone from this round on (before participant selection).
+
+        The dual of :meth:`on_arrivals`.  Departed clients stay in the
+        evaluation population (their data still benchmarks the served
+        model); strategies that key per-client server state may want to
+        freeze or archive it here.
+        """
+
     def on_round_end(self, engine: "RoundEngine", outcome: RoundOutcome) -> None:
         """Post-round notification (after history logging)."""
 
@@ -252,24 +420,45 @@ class RoundEngine:
                 f"scenario min_clients ({self.scenario.min_clients}) exceeds "
                 f"the federation size ({env.federation.n_clients})"
             )
+        self.scenario.validate_for(env.federation.n_clients)
         #: (round, dropped client ids) — failure middleware log.
         self.drop_log: list[tuple[int, list[int]]] = []
         #: (round, straggler client ids) — straggler middleware log.
         self.straggler_log: list[tuple[int, list[int]]] = []
+        #: (round, folded stale client ids) — stale-update middleware log.
+        self.stale_log: list[tuple[int, list[int]]] = []
+        #: (round, departed client ids) — departure middleware log.
+        self.departure_log: list[tuple[int, list[int]]] = []
+        #: client id → (round produced, late update) awaiting folding.
+        self._stale_buffer: dict[int, tuple[int, ClientUpdate]] = {}
 
     # ------------------------------------------------------------------
     # Scenario middleware
     # ------------------------------------------------------------------
     def eligible_clients(self, round_index: int) -> np.ndarray:
-        """Clients present in the federation as of ``round_index``."""
+        """Clients present in the federation as of ``round_index``.
+
+        Intersection of the three presence schedules: arrived (arrival
+        round ≤ now), not yet departed (departure round > now), and
+        available per the trace (unlisted clients are always on).
+        """
         m = self.env.federation.n_clients
-        arrivals = self.scenario.arrivals
-        if not arrivals:
+        scenario = self.scenario
+        arrivals = scenario.arrivals
+        departures = scenario.departures
+        trace = scenario.trace
+        if not arrivals and not departures and trace is None:
             return np.arange(m)
-        return np.array(
-            [cid for cid in range(m) if int(arrivals.get(cid, 1)) <= round_index],
-            dtype=np.int64,
-        )
+        eligible = []
+        for cid in range(m):
+            if arrivals and int(arrivals.get(cid, 1)) > round_index:
+                continue
+            if departures and cid in departures and int(departures[cid]) <= round_index:
+                continue
+            if trace is not None and not trace.available(cid, round_index):
+                continue
+            eligible.append(cid)
+        return np.array(eligible, dtype=np.int64)
 
     def arrivals_at(self, round_index: int) -> np.ndarray:
         """Clients whose arrival round is exactly ``round_index``."""
@@ -278,6 +467,16 @@ class RoundEngine:
             return np.empty(0, dtype=np.int64)
         return np.array(
             sorted(cid for cid, r in arrivals.items() if int(r) == round_index),
+            dtype=np.int64,
+        )
+
+    def departures_at(self, round_index: int) -> np.ndarray:
+        """Clients whose departure round is exactly ``round_index``."""
+        departures = self.scenario.departures
+        if not departures:
+            return np.empty(0, dtype=np.int64)
+        return np.array(
+            sorted(cid for cid, r in departures.items() if int(r) == round_index),
             dtype=np.int64,
         )
 
@@ -323,7 +522,7 @@ class RoundEngine:
 
     def _apply_stragglers(
         self, updates: list[ClientUpdate], round_index: int
-    ) -> tuple[list[ClientUpdate], list[int]]:
+    ) -> tuple[list[ClientUpdate], list[ClientUpdate]]:
         """Seeded post-training deadline misses (independent stream)."""
         rate = self.scenario.straggler_rate
         if rate <= 0.0 or not updates:
@@ -338,7 +537,62 @@ class RoundEngine:
             keep = min(late, key=lambda u: u.client_id)
             on_time = [keep]
             late = [u for u in late if u is not keep]
-        return on_time, sorted(u.client_id for u in late)
+        return on_time, late
+
+    def _apply_budgets(self, tasks: Sequence[UpdateTask], round_index: int) -> None:
+        """Stamp each task with its seeded per-(round, client) step cap.
+
+        Draws are uniform over the configured ``[lo, hi]`` on an
+        independent stream (tag :data:`BUDGET_TAG`), so the budget
+        schedule is reproducible across executors and compositions.  A
+        caller-set ``max_steps`` on a task is only ever tightened.
+        """
+        budget = self.scenario.compute_budget
+        if budget is None:
+            return
+        lo, hi = budget
+        for task in tasks:
+            drawn = int(
+                rng_for(
+                    self.env.seed, BUDGET_TAG, round_index, task.client_id
+                ).integers(lo, hi + 1)
+            )
+            task.max_steps = (
+                drawn if task.max_steps is None else min(task.max_steps, drawn)
+            )
+
+    def _fold_stale(
+        self, round_index: int, dispatched: DispatchOutcome
+    ) -> list[int]:
+        """Stale-update middleware: fold buffered late work, buffer new.
+
+        Every buffered update either folds into this round's survivor
+        list (weight × ``decay ** age``) or is dropped because its
+        client delivered a fresh update this round; the buffer then
+        takes on this round's stragglers for a future round.  Returns
+        the folded client ids (sorted).
+        """
+        decay = self.scenario.staleness_decay
+        if decay <= 0.0:
+            return []
+        folded: list[int] = []
+        fresh = {u.client_id for u in dispatched.survivors}
+        for cid in sorted(self._stale_buffer):
+            produced, update = self._stale_buffer.pop(cid)
+            if cid in fresh:
+                continue  # superseded: one update per client per round
+            age = round_index - produced
+            base = update.weight if update.weight is not None else float(
+                update.n_samples
+            )
+            update.weight = base * decay**age
+            dispatched.survivors.append(update)
+            folded.append(cid)
+        for update in dispatched.late:
+            self._stale_buffer[update.client_id] = (round_index, update)
+        if folded:
+            self.stale_log.append((round_index, folded))
+        return folded
 
     # ------------------------------------------------------------------
     # Dispatch: broadcast accounting + middleware + executor
@@ -365,10 +619,18 @@ class RoundEngine:
         if charge_download and tasks:
             env.tracker.record_download(env.n_params * len(tasks), phase)
         alive, failed_ids = self._apply_failures(tasks, round_index)
+        self._apply_budgets(alive, round_index)
         updates = env.run_updates(alive, round_index)
         if charge_upload and updates:
             env.tracker.record_upload(env.n_params * len(updates), phase)
-        survivors, straggler_ids = self._apply_stragglers(updates, round_index)
+        if self.scenario.compute_budget is not None:
+            # FedNova-style renormalisation: weight by steps actually
+            # taken, so a budget-truncated client counts for what it
+            # computed and a zero-step client counts for nothing.
+            for update in updates:
+                update.weight = float(update.n_batches)
+        survivors, late = self._apply_stragglers(updates, round_index)
+        straggler_ids = sorted(u.client_id for u in late)
         if failed_ids:
             self.drop_log.append((round_index, failed_ids))
         if straggler_ids:
@@ -377,6 +639,10 @@ class RoundEngine:
             survivors=survivors,
             failed=np.array(failed_ids, dtype=np.int64),
             stragglers=np.array(straggler_ids, dtype=np.int64),
+            # Keep the late updates alive only when stale folding wants
+            # them — otherwise they must die here (buffer-lifetime
+            # hygiene: dead cohort-sized buffers cost page faults).
+            late=late if self.scenario.staleness_decay > 0.0 else [],
         )
 
     # ------------------------------------------------------------------
@@ -404,6 +670,10 @@ class RoundEngine:
 
         for round_index in range(first_round, last_round + 1):
             t0 = time.perf_counter()
+            departed = self.departures_at(round_index)
+            if departed.size:
+                self.departure_log.append((round_index, departed.tolist()))
+                strategy.on_departures(self, round_index, departed)
             arrived = self.arrivals_at(round_index)
             if arrived.size:
                 strategy.on_arrivals(self, round_index, arrived)
@@ -416,6 +686,7 @@ class RoundEngine:
                 charge_download=charge,
                 charge_upload=charge,
             )
+            stale_ids = self._fold_stale(round_index, dispatched)
             train_loss = strategy.aggregate(self, round_index, dispatched.survivors)
             evaluated = round_index == last_round or round_index % eval_every == 0
             if evaluated:
@@ -430,6 +701,8 @@ class RoundEngine:
                     uploaded_params=env.tracker.total_uploaded,
                     downloaded_params=env.tracker.total_downloaded,
                     wall_seconds=time.perf_counter() - t0,
+                    n_stale=len(stale_ids),
+                    n_departed=int(departed.size),
                 )
             )
             strategy.on_round_end(
@@ -444,6 +717,8 @@ class RoundEngine:
                     train_loss=train_loss,
                     evaluated=evaluated,
                     mean_accuracy=mean_acc,
+                    stale=np.array(stale_ids, dtype=np.int64),
+                    departed=departed,
                 ),
             )
         return mean_acc, per_client

@@ -103,7 +103,10 @@ class LockstepStep:
 
 
 def plan_cohort_schedule(
-    sizes: Sequence[int], cfg: TrainConfig, rngs: Sequence[np.random.Generator]
+    sizes: Sequence[int],
+    cfg: TrainConfig,
+    rngs: Sequence[np.random.Generator],
+    max_steps: "Sequence[int | None] | None" = None,
 ) -> tuple[list[LockstepStep], int]:
     """Lockstep-align every client's serial minibatch schedule.
 
@@ -114,18 +117,34 @@ def plan_cohort_schedule(
     the serial path draws them, and ``max_batches``/``max_steps`` caps
     are applied per client with serial semantics (per-epoch cap; total
     cap checked before each step).
+
+    ``max_steps`` optionally tightens the total-step cap **per client**
+    (``None`` entries fall back to ``cfg.max_steps``) — the scenario
+    compute-budget path: a budgeted client's schedule simply ends
+    early and the existing per-step ``active`` masks keep it frozen for
+    the rest of the cohort's lockstep schedule.  A cap of ``0`` yields
+    an empty schedule (the client's weights never move).
     """
     n_clients = len(sizes)
     if n_clients == 0:
         raise ValueError("cohort must contain at least one client")
     if any(n <= 0 for n in sizes):
         raise ValueError("cannot train on an empty dataset")
+    if max_steps is None:
+        max_steps = [None] * n_clients
+    if len(max_steps) != n_clients:
+        raise ValueError(
+            f"max_steps has {len(max_steps)} entries for {n_clients} clients"
+        )
     batch_sizes = [min(cfg.batch_size, int(n)) for n in sizes]
     batch_width = max(batch_sizes)
 
     # Per client: the full (epoch-major) list of batch index arrays.
     per_client: list[list[np.ndarray]] = []
-    for n, b, rng in zip(sizes, batch_sizes, rngs):
+    for n, b, rng, budget in zip(sizes, batch_sizes, rngs, max_steps):
+        cap = cfg.max_steps
+        if budget is not None:
+            cap = int(budget) if cap is None else min(cap, int(budget))
         batches: list[np.ndarray] = []
         taken = 0
         done = False
@@ -134,7 +153,7 @@ def plan_cohort_schedule(
             for batch_index, start in enumerate(range(0, int(n), b)):
                 if cfg.max_batches is not None and batch_index >= cfg.max_batches:
                     break
-                if cfg.max_steps is not None and taken >= cfg.max_steps:
+                if cap is not None and taken >= cap:
                     done = True
                     break
                 batches.append(order[start : start + b])
@@ -233,6 +252,7 @@ def train_cohort_flat(
     round_index: int,
     prox_mu: float = 0.0,
     factored_keys: frozenset[str] | None = None,
+    max_steps: "Sequence[int | None] | None" = None,
 ) -> list[ClientUpdate]:
     """Run one cohort's local training in lockstep on the flat plane.
 
@@ -242,6 +262,12 @@ def train_cohort_flat(
     :func:`repro.fl.client.run_client_update_flat` per client with the
     same ``rng_for`` streams.  Returns updates in ``client_ids`` order,
     each carrying its packed row (``flat``) and a lazy ``state`` view.
+
+    ``max_steps`` is an optional per-client total-step cap (aligned
+    with ``client_ids``; the scenario compute-budget path) — budgeted
+    clients drop out of the lockstep schedule early via the per-step
+    ``active`` masks, and a zero-budget client's emitted row is exactly
+    the broadcast rounded through the parameter dtypes.
     """
     cfg = env.train_cfg
     layout: StateLayout = env.layout
@@ -252,7 +278,7 @@ def train_cohort_flat(
         rng_for(env.seed, _CLIENT_UPDATE_TAG, round_index, cid)
         for cid in client_ids
     ]
-    steps, batch_width = plan_cohort_schedule(sizes, cfg, rngs)
+    steps, batch_width = plan_cohort_schedule(sizes, cfg, rngs, max_steps)
     n_clients = len(client_ids)
     if factored_keys is None:
         factored_keys = select_factored_keys(

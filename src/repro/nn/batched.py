@@ -528,6 +528,28 @@ class BatchedSGD:
         if g is None:
             raise RuntimeError(f"no gradient for {p.key!r}")
         data = p.data
+        if rows is not None:
+            # Step-budget / ragged-tail masks: restrict every term to the
+            # active rows up front.  Under per-client compute budgets most
+            # of a cohort can be frozen for most of the schedule, and the
+            # full-plane weight-decay/proximal arithmetic would dominate
+            # the step; the selected-row ops are elementwise-identical.
+            g = g[rows]
+            sel = data[rows]
+            if self.weight_decay:
+                g = g + self.weight_decay * sel
+            if self.mu and p.anchor is not None:
+                g = g + self.mu * (sel - p.anchor)
+            if self.momentum > 0:
+                v = self._velocity.get(id(p))
+                if v is None:
+                    v = np.zeros_like(data, subok=False)
+                    self._velocity[id(p)] = v
+                v[rows] = self.momentum * v[rows] + g
+                data[rows] -= self.lr * v[rows]
+            else:
+                data[rows] = sel - self.lr * g
+            return
         if self.weight_decay:
             g = g + self.weight_decay * data
         if self.mu and p.anchor is not None:
@@ -537,18 +559,11 @@ class BatchedSGD:
             if v is None:
                 v = np.zeros_like(data, subok=False)
                 self._velocity[id(p)] = v
-            if rows is None:
-                v *= self.momentum
-                v += g
-                data -= self.lr * v
-            else:
-                v[rows] = self.momentum * v[rows] + g[rows]
-                data[rows] -= self.lr * v[rows]
+            v *= self.momentum
+            v += g
+            data -= self.lr * v
         else:
-            if rows is None:
-                data -= self.lr * g
-            else:
-                data[rows] -= self.lr * g[rows]
+            data -= self.lr * g
 
     # -- factored --------------------------------------------------------
     def _step_factored(self, p: FactoredParam, rows) -> None:
@@ -683,7 +698,7 @@ def build_batched(
     if named is None:
         raise ValueError(
             f"model {getattr(model, 'arch', type(model).__name__)!r} has no "
-            f"batched mirror; use the serial trainer"
+            "batched mirror; use the serial trainer"
         )
     dtypes = {np.dtype(d) for d in layout.dtypes}
     if len(dtypes) != 1:

@@ -99,7 +99,7 @@ class StateLayout:
             if arr.dtype not in [np.dtype(d) for d in _EXACT_DTYPES]:
                 raise TypeError(
                     f"key {key!r} has dtype {arr.dtype}, which does not embed "
-                    f"losslessly into the float64 parameter plane"
+                    "losslessly into the float64 parameter plane"
                 )
             keys.append(key)
             shapes.append(tuple(arr.shape))
@@ -228,7 +228,7 @@ def pack_state(
     keys = list(state.keys())
     if keys != list(layout.keys):
         raise KeyError(
-            f"state keys differ from layout: "
+            "state keys differ from layout: "
             f"{sorted(set(keys) ^ set(layout.keys)) or 'same set, different order'}"
         )
     if out is None:

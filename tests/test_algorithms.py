@@ -13,7 +13,6 @@ from repro.algorithms.ifca import IFCA
 from repro.algorithms.pacfl import PACFL
 from repro.algorithms.registry import available_algorithms, make_algorithm
 from repro.cluster.metrics import adjusted_rand_index
-from repro.fl.simulation import FederatedEnv
 
 
 class TestRegistry:
@@ -158,7 +157,7 @@ class TestShortRuns:
     def test_ifca_download_is_k_times(self, small_env):
         k = 3
         algo = IFCA(n_clusters=k)
-        result = algo.run(small_env, n_rounds=2, eval_every=2)
+        algo.run(small_env, n_rounds=2, eval_every=2)
         m = small_env.federation.n_clients
         expected_down = 2 * k * small_env.n_params * m
         assert small_env.tracker.total_downloaded == expected_down

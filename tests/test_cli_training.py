@@ -10,7 +10,7 @@ import pytest
 from repro.cli import build_parser, main
 from repro.data.synthetic import make_dataset
 from repro.nn import SGD, StepLR, mlp
-from repro.nn.training import FitResult, accuracy, fit
+from repro.nn.training import accuracy, fit
 
 
 class TestParser:
@@ -41,6 +41,24 @@ class TestParser:
         assert args.client_fraction == 0.5
         assert args.failure_rate == 0.2
         assert args.straggler_rate == 0.1
+
+    def test_middleware_v2_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "--staleness-decay", "0.5",
+                "--compute-budget", "2", "8",
+                "--trace", "schedule.json",
+            ]
+        )
+        assert args.staleness_decay == 0.5
+        assert args.compute_budget == [2, 8]
+        assert args.trace == "schedule.json"
+        # Defaults leave the scenario at paper scale.
+        defaults = build_parser().parse_args(["run"])
+        assert defaults.staleness_decay == 0.0
+        assert defaults.compute_budget is None
+        assert defaults.trace is None
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -100,6 +118,9 @@ class TestCliExecution:
             "client_fraction": 0.67,
             "failure_rate": 0.25,
             "straggler_rate": 0.25,
+            "staleness_decay": 0.0,
+            "compute_budget": None,
+            "trace": None,
         }
         assert 0.0 <= payload["final_accuracy"] <= 1.0
         # IFCA has no constructor fraction — participation must have
@@ -107,6 +128,37 @@ class TestCliExecution:
         repeat = run_once()
         assert repeat["final_accuracy"] == payload["final_accuracy"]
         assert repeat["history"] == payload["history"]
+        capsys.readouterr()
+
+    def test_run_command_replays_trace_file(self, tmp_path, capsys):
+        """--trace FILE loads an availability schedule and drives
+        participation with it (client 3 only ever appears in round 2)."""
+        from repro.fl.trace import AvailabilityTrace
+
+        trace_path = tmp_path / "schedule.json"
+        AvailabilityTrace({3: [2]}).save(trace_path)
+        out = tmp_path / "result.json"
+        code = main(
+            [
+                "run",
+                "--algorithm", "fedavg",
+                "--dataset", "fmnist",
+                "--clients", "4",
+                "--rounds", "2",
+                "--model", "mlp",
+                "--staleness-decay", "0.5",
+                "--compute-budget", "3",
+                "--trace", str(trace_path),
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["scenario"]["trace"] == str(trace_path)
+        assert payload["scenario"]["compute_budget"] == [3, 3]
+        # Round 1 misses client 3, round 2 has everyone.
+        curve = payload["history"]
+        assert curve["n_rounds"] == 2
         capsys.readouterr()
 
     def test_fig2_command(self, capsys, monkeypatch):

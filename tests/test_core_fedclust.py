@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.cluster.metrics import adjusted_rand_index
-from repro.core.clustering import ClusteringConfig
 from repro.core.fedclust import FedClust, FedClustConfig, resolve_selection_keys
 from repro.fl.config import TrainConfig
 from repro.fl.simulation import FederatedEnv

@@ -25,11 +25,13 @@ import pytest
 from repro.algorithms.base import GlobalModelRounds
 from repro.algorithms.registry import make_algorithm
 from repro.data.federation import build_federation
+from repro.fl.aggregation import packed_weighted_average
 from repro.fl.config import TrainConfig
 from repro.fl.parallel import UpdateTask
-from repro.fl.rounds import RoundEngine, ScenarioConfig
+from repro.fl.rounds import RoundEngine, ScenarioConfig, aggregation_weights
 from repro.fl.simulation import FederatedEnv
 from repro.fl.history import RunHistory
+from repro.fl.trace import AvailabilityTrace
 
 #: (final accuracy, last-round mean train loss, uploaded, downloaded)
 #: captured from the pre-engine loops on the seeded config below.
@@ -102,11 +104,39 @@ class TestScenarioConfig:
             {"straggler_rate": 1.0},
             {"min_clients": 0},
             {"arrivals": {2: 0}},
+            {"staleness_decay": -0.1},
+            {"staleness_decay": 1.1},
+            {"compute_budget": (-1, 3)},
+            {"compute_budget": (5, 2)},
+            {"compute_budget": (1, 2, 3)},
+            {"departures": {2: 1}},  # departs in its arrival round
+            {"arrivals": {2: 3}, "departures": {2: 3}},  # at arrival
+            {"trace": {0: [0]}},  # trace rounds are 1-based
         ],
     )
     def test_validation(self, kwargs):
         with pytest.raises(ValueError):
             ScenarioConfig(**kwargs)
+
+    def test_v2_knobs_leave_default(self):
+        assert not ScenarioConfig(staleness_decay=0.5).is_default
+        assert not ScenarioConfig(compute_budget=(1, 4)).is_default
+        assert not ScenarioConfig(departures={2: 3}).is_default
+        assert not ScenarioConfig(trace={0: [1]}).is_default
+
+    def test_compute_budget_normalises_to_pair(self):
+        assert ScenarioConfig(compute_budget=5).compute_budget == (5, 5)
+        assert ScenarioConfig(compute_budget=(2, 8)).compute_budget == (2, 8)
+
+    def test_unknown_client_ids_fail_at_engine_construction(self, env_factory):
+        env = env_factory(local_epochs=1)
+        for kwargs in (
+            {"arrivals": {11: 2}},
+            {"departures": {11: 2}},
+            {"trace": {11: [1]}},
+        ):
+            with pytest.raises(ValueError, match="unknown client ids"):
+                RoundEngine(env, ScenarioConfig(**kwargs))
 
     def test_min_clients_above_federation_fails_at_engine_construction(
         self, env_factory
@@ -250,6 +280,19 @@ _SCENARIOS = {
     "partial+failures+stragglers": ScenarioConfig(
         client_fraction=0.75, failure_rate=0.25, straggler_rate=0.25
     ),
+    # --- v2 middleware cells: staleness × budget × trace ---
+    "stale": ScenarioConfig(
+        client_fraction=0.5, straggler_rate=0.4, staleness_decay=0.5
+    ),
+    "budget": ScenarioConfig(compute_budget=(0, 3)),
+    "stale+budget+trace": ScenarioConfig(
+        client_fraction=0.75,
+        straggler_rate=0.3,
+        staleness_decay=0.5,
+        compute_budget=(1, 4),
+        trace={6: [2], 7: [1]},
+        departures={5: 2},
+    ),
 }
 
 
@@ -278,6 +321,7 @@ class TestScenarioMatrix:
         assert serial.final_accuracy == other.final_accuracy
         assert serial.extras["drop_log"] == other.extras["drop_log"]
         assert serial.extras["straggler_log"] == other.extras["straggler_log"]
+        assert serial.extras["stale_log"] == other.extras["stale_log"]
 
     @pytest.mark.parametrize(
         "algorithm", ["fedprox", "cfl", "ifca", "pacfl", "fedclust", "local_only"]
@@ -348,3 +392,382 @@ class TestArrivals:
         ]
         expected = int(np.bincount(result.cluster_labels[peers]).argmax())
         assert result.cluster_labels[7] == expected
+
+
+# ----------------------------------------------------------------------
+# Departure events and availability traces
+# ----------------------------------------------------------------------
+class TestDeparturesAndTraces:
+    def test_departure_gates_eligibility(self, env_factory):
+        env = env_factory(local_epochs=1)
+        engine = RoundEngine(env, ScenarioConfig(departures={6: 2, 7: 3}))
+        np.testing.assert_array_equal(engine.eligible_clients(1), np.arange(8))
+        np.testing.assert_array_equal(
+            engine.eligible_clients(2), [0, 1, 2, 3, 4, 5, 7]
+        )
+        np.testing.assert_array_equal(engine.eligible_clients(3), np.arange(6))
+        np.testing.assert_array_equal(engine.departures_at(2), [6])
+        np.testing.assert_array_equal(engine.departures_at(3), [7])
+        assert engine.departures_at(1).size == 0
+
+    def test_departed_clients_stop_training_but_stay_evaluated(self, env_factory):
+        env = env_factory(local_epochs=1)
+        result = make_algorithm("fedavg").run(
+            env, n_rounds=3, scenario=ScenarioConfig(departures={0: 2, 4: 3})
+        )
+        assert [r.n_participants for r in result.history.records] == [8, 7, 6]
+        assert [r.n_departed for r in result.history.records] == [0, 1, 1]
+        assert result.extras["departure_log"] == [(2, [0]), (3, [4])]
+        # Departed clients keep their Table-I evaluation entry.
+        assert result.per_client_accuracy.shape == (8,)
+        assert not np.isnan(result.per_client_accuracy).any()
+
+    def test_on_departures_hook_fires(self, env_factory):
+        env = env_factory(local_epochs=1)
+        engine = RoundEngine(env, ScenarioConfig(departures={3: 2}))
+        strategy = GlobalModelRounds(env.layout.pack(env.init_state()))
+        seen = []
+        strategy.on_departures = (
+            lambda eng, r, departed: seen.append((r, departed.tolist()))
+        )
+        engine.run(strategy, 2, RunHistory("test", "x", 0))
+        assert seen == [(2, [3])]
+
+    def test_trace_is_the_participation_schedule(self, env_factory):
+        env = env_factory(local_epochs=1)
+        trace = AvailabilityTrace({5: [2], 6: [1], 7: []})
+        engine = RoundEngine(env, ScenarioConfig(trace=trace))
+        np.testing.assert_array_equal(
+            engine.eligible_clients(1), [0, 1, 2, 3, 4, 6]
+        )
+        np.testing.assert_array_equal(
+            engine.eligible_clients(2), [0, 1, 2, 3, 4, 5]
+        )
+
+    def test_trace_absence_charges_no_traffic(self, env_factory):
+        """Unlike a failure (download charged), a trace absence means the
+        client was never contacted."""
+        env = env_factory(local_epochs=1)
+        engine = RoundEngine(env, ScenarioConfig(trace={7: []}))
+        strategy = GlobalModelRounds(env.layout.pack(env.init_state()))
+        engine.run(strategy, 1, RunHistory("test", "x", 0))
+        assert env.tracker.total_downloaded == 7 * env.n_params
+        assert env.tracker.total_uploaded == 7 * env.n_params
+
+    def test_trace_composes_with_arrivals_by_intersection(self, env_factory):
+        env = env_factory(local_epochs=1)
+        engine = RoundEngine(
+            env,
+            ScenarioConfig(arrivals={6: 2}, trace={6: [1, 2, 3], 5: [3]}),
+        )
+        # 6 is trace-available from round 1 but only arrives in round 2.
+        np.testing.assert_array_equal(
+            engine.eligible_clients(1), [0, 1, 2, 3, 4, 7]
+        )
+        np.testing.assert_array_equal(
+            engine.eligible_clients(2), [0, 1, 2, 3, 4, 6, 7]
+        )
+
+    def test_from_events_subsumes_arrivals_and_departures(self, env_factory):
+        """An event-style scenario and its materialised trace produce the
+        same eligibility set every round."""
+        env = env_factory(local_epochs=1)
+        arrivals, departures = {6: 2}, {3: 3}
+        event_engine = RoundEngine(
+            env, ScenarioConfig(arrivals=arrivals, departures=departures)
+        )
+        trace = AvailabilityTrace.from_events(
+            8, 4, arrivals=arrivals, departures=departures
+        )
+        trace_engine = RoundEngine(env, ScenarioConfig(trace=trace))
+        for round_index in range(1, 5):
+            np.testing.assert_array_equal(
+                event_engine.eligible_clients(round_index),
+                trace_engine.eligible_clients(round_index),
+            )
+
+
+# ----------------------------------------------------------------------
+# Stale-update folding
+# ----------------------------------------------------------------------
+class TestStaleUpdates:
+    def _run_with_outcomes(self, env, scenario, n_rounds=3):
+        engine = RoundEngine(env, scenario)
+        strategy = GlobalModelRounds(env.layout.pack(env.init_state()))
+        outcomes = []
+        strategy.on_round_end = lambda eng, out: outcomes.append(out)
+        engine.run(strategy, n_rounds, RunHistory("test", "x", 0))
+        return engine, strategy, outcomes
+
+    def test_stale_update_folds_next_round_with_discount(self, env_factory):
+        env = env_factory(local_epochs=1)
+        decay = 0.5
+        scenario = ScenarioConfig(
+            client_fraction=0.5, straggler_rate=0.5, staleness_decay=decay
+        )
+        engine, strategy, outcomes = self._run_with_outcomes(
+            env, scenario, n_rounds=4
+        )
+        folded = [set(out.stale.tolist()) for out in outcomes]
+        assert any(folded), "seeded scenario should fold at least one update"
+        for prev, out in zip(outcomes, outcomes[1:]):
+            fresh = {
+                u.client_id for u in out.survivors if u.weight is None
+            }
+            # Every fold is a previous-round straggler that did not
+            # deliver fresh work this round.
+            assert set(out.stale.tolist()) <= set(prev.stragglers.tolist())
+            assert not set(out.stale.tolist()) & fresh
+            for update in out.survivors:
+                if update.client_id in set(out.stale.tolist()):
+                    assert update.weight == update.n_samples * decay
+
+    def test_aggregation_renormalises_over_survivors_plus_stale(self, env_factory):
+        """The folded round's server vector equals the weighted average
+        with sample-count weights for fresh survivors and discounted
+        weights for stale arrivals."""
+        from repro.algorithms.base import cohort_matrix
+
+        env = env_factory(local_epochs=1)
+        scenario = ScenarioConfig(
+            client_fraction=0.5, straggler_rate=0.5, staleness_decay=0.5
+        )
+
+        engine = RoundEngine(env, scenario)
+        strategy = GlobalModelRounds(env.layout.pack(env.init_state()))
+        captured = []
+
+        original_aggregate = strategy.aggregate
+
+        def spy(eng, round_index, survivors):
+            captured.append((round_index, list(survivors)))
+            return original_aggregate(eng, round_index, survivors)
+
+        strategy.aggregate = spy
+        engine.run(strategy, 4, RunHistory("test", "x", 0))
+        stale_rounds = {r for r, _ in engine.stale_log}
+        assert stale_rounds, "seeded scenario should fold at least once"
+        round_index = max(stale_rounds)
+        survivors = next(s for r, s in captured if r == round_index)
+        weights = aggregation_weights(survivors)
+        expected_last = env.layout.round_trip(
+            packed_weighted_average(cohort_matrix(env, survivors), weights)
+        )
+        # Re-run and compare the state right after the folded round.
+        engine2 = RoundEngine(env, scenario)
+        strategy2 = GlobalModelRounds(env.layout.pack(env.init_state()))
+        states = {}
+        strategy2.on_round_end = lambda eng, out: states.__setitem__(
+            out.round_index, strategy2.vector.copy()
+        )
+        engine2.run(strategy2, 4, RunHistory("test", "x", 0))
+        np.testing.assert_array_equal(states[round_index], expected_last)
+
+    def test_fresh_update_supersedes_stale(self, env_factory):
+        """Full participation: every straggler trains fresh next round,
+        so its stale copy is dropped and aggregation never sees two
+        updates from one client."""
+        env = env_factory(local_epochs=1)
+        scenario = ScenarioConfig(straggler_rate=0.4, staleness_decay=0.5)
+        engine, _, outcomes = self._run_with_outcomes(env, scenario)
+        assert engine.stale_log == []
+        for out in outcomes:
+            ids = [u.client_id for u in out.survivors]
+            assert len(ids) == len(set(ids))
+
+    def test_zero_decay_discards_like_pr4(self, env_factory):
+        """decay=0 must reproduce the discard semantics bit-for-bit."""
+        env_a = env_factory(local_epochs=1)
+        base = make_algorithm("fedavg").run(
+            env_a,
+            n_rounds=2,
+            scenario=ScenarioConfig(client_fraction=0.5, straggler_rate=0.5),
+        )
+        env_b = env_factory(local_epochs=1)
+        same = make_algorithm("fedavg").run(
+            env_b,
+            n_rounds=2,
+            scenario=ScenarioConfig(
+                client_fraction=0.5, straggler_rate=0.5, staleness_decay=0.0
+            ),
+        )
+        np.testing.assert_array_equal(
+            base.per_client_accuracy, same.per_client_accuracy
+        )
+        assert base.extras["stale_log"] == same.extras["stale_log"] == []
+
+
+# ----------------------------------------------------------------------
+# Per-client compute budgets
+# ----------------------------------------------------------------------
+class TestComputeBudgets:
+    def _tasks(self, env):
+        vector = env.layout.pack(env.init_state())
+        return [
+            UpdateTask(cid, flat=vector)
+            for cid in range(env.federation.n_clients)
+        ]
+
+    def test_budget_caps_steps_and_sets_weights(self, env_factory):
+        env = env_factory(local_epochs=2)
+        engine = RoundEngine(env, ScenarioConfig(compute_budget=(1, 3)))
+        out = engine.dispatch(self._tasks(env), 1)
+        for update in out.survivors:
+            assert 1 <= update.n_batches <= 3
+            assert update.weight == float(update.n_batches)
+
+    def test_zero_budget_client_contributes_no_update(self, env_factory):
+        """A zero-step client returns the broadcast unchanged and is
+        excluded from the weighted average entirely."""
+        from repro.algorithms.base import cohort_matrix
+
+        env = env_factory(local_epochs=1)
+        engine = RoundEngine(env, ScenarioConfig(compute_budget=(0, 2)))
+        strategy = GlobalModelRounds(env.layout.pack(env.init_state()))
+        broadcast = strategy.vector.copy()
+        outcomes = []
+        strategy.on_round_end = lambda eng, out: outcomes.append(out)
+        engine.run(strategy, 1, RunHistory("test", "x", 0))
+        survivors = outcomes[0].survivors
+        zero = [u for u in survivors if u.n_batches == 0]
+        live = [u for u in survivors if u.n_batches > 0]
+        assert zero, "seeded (0, 2) draw should zero out someone"
+        assert live, "and someone should still work"
+        for update in zero:
+            np.testing.assert_array_equal(
+                update.flat, env.layout.round_trip(broadcast)
+            )
+        # FedNova-style: the average is over positive-step clients with
+        # steps-taken weights; the denominator is their total step count.
+        weights = [float(u.n_batches) for u in live]
+        expected = env.layout.round_trip(
+            packed_weighted_average(cohort_matrix(env, live), weights)
+        )
+        np.testing.assert_array_equal(strategy.vector, expected)
+
+    def test_budget_draws_are_seeded_per_round_and_client(self, env_factory):
+        env = env_factory(local_epochs=2)
+        scenario = ScenarioConfig(compute_budget=(1, 5))
+        first = RoundEngine(env, scenario).dispatch(self._tasks(env), 2)
+        second = RoundEngine(env, scenario).dispatch(self._tasks(env), 2)
+        assert [u.n_batches for u in first.survivors] == [
+            u.n_batches for u in second.survivors
+        ]
+
+    def test_all_zero_budgets_keep_the_server_state(self, env_factory):
+        env = env_factory(local_epochs=1)
+        engine = RoundEngine(env, ScenarioConfig(compute_budget=0))
+        strategy = GlobalModelRounds(env.layout.pack(env.init_state()))
+        before = strategy.vector.copy()
+        history = RunHistory("test", "x", 0)
+        engine.run(strategy, 1, history)
+        np.testing.assert_array_equal(strategy.vector, before)
+        # A frozen round must not report a fabricated 0.0 train loss —
+        # zero-step updates are excluded from the round statistic.
+        assert np.isnan(history.records[0].mean_train_loss)
+
+    @pytest.mark.parametrize("algorithm", ["fedavg", "ifca"])
+    def test_zero_budget_losses_do_not_bias_the_curve(
+        self, env_factory, algorithm
+    ):
+        env = env_factory(local_epochs=1)
+        result = make_algorithm(algorithm, **_KWARGS[algorithm]).run(
+            env, n_rounds=2, scenario=ScenarioConfig(compute_budget=(0, 3))
+        )
+        for record in result.history.records:
+            # Some client trained every round on this seeded config, so
+            # the loss is a real mean over trained clients — finite and
+            # strictly positive (a fabricated 0.0 would drag it down).
+            assert record.mean_train_loss > 0.0
+
+
+# ----------------------------------------------------------------------
+# Fully-dark trace rounds
+# ----------------------------------------------------------------------
+class TestDarkRounds:
+    def _dark_round_2_trace(self, m):
+        return AvailabilityTrace({cid: [1, 3] for cid in range(m)})
+
+    @pytest.mark.parametrize("algorithm", ["fedavg", "ifca", "cfl", "local_only"])
+    def test_trace_scheduled_dark_round_freezes_the_server(
+        self, env_factory, algorithm
+    ):
+        """A replayed schedule may leave a round with no eligible client
+        at all: the round dispatches nothing, logs NaN train loss, and
+        every model survives untouched."""
+        env = env_factory(local_epochs=1)
+        scenario = ScenarioConfig(trace=self._dark_round_2_trace(8))
+        result = make_algorithm(algorithm, **_KWARGS[algorithm]).run(
+            env, n_rounds=3, scenario=scenario
+        )
+        records = result.history.records
+        assert [r.n_participants for r in records] == [8, 0, 8]
+        assert np.isnan(records[1].mean_train_loss)
+        # Evaluation still ran on cadence; the dark round changed nothing,
+        # so its accuracy equals round 1's.
+        assert records[1].mean_local_accuracy == records[0].mean_local_accuracy
+
+
+# ----------------------------------------------------------------------
+# CFL windowed delta cache: splits under partial participation
+# ----------------------------------------------------------------------
+class TestCFLWindowedSplits:
+    def _run(self, env_factory, delta_window):
+        env = env_factory(local_epochs=2)
+        return make_algorithm(
+            "cfl", warmup_rounds=1, delta_window=delta_window
+        ).run(env, n_rounds=10, scenario=ScenarioConfig(client_fraction=0.2))
+
+    def test_windowed_cache_restores_splits_at_low_c(self, env_factory):
+        """At C=0.2 a full-cohort round never happens (2 of 8 clients per
+        round), so the PR-4 criterion can never split; the windowed
+        cache splits once the union of the last W rounds covers the
+        cohort.  The split decision is pinned."""
+        classic = self._run(env_factory, delta_window=1)
+        assert classic.extras["split_rounds"] == []
+        assert classic.n_clusters == 1
+
+        windowed = self._run(env_factory, delta_window=8)
+        assert windowed.extras["split_rounds"] == [8]
+        assert windowed.n_clusters == 2
+        np.testing.assert_array_equal(
+            windowed.cluster_labels, [0, 1, 1, 1, 0, 1, 0, 1]
+        )
+
+    def test_cached_deltas_own_their_memory(self, env_factory):
+        """Cache entries must be copies, not views into the round's full
+        (cohort × n_params) delta matrix — a view would pin the whole
+        matrix alive until the entry ages out of the window."""
+        from repro.algorithms.cfl import CFL, _CFLRounds, _Cluster
+
+        env = env_factory(local_epochs=1)
+        algo = CFL(warmup_rounds=1, delta_window=3)
+        m = env.federation.n_clients
+        strategy = _CFLRounds(
+            algo,
+            [_Cluster(state=env.layout.pack(env.init_state()), members=np.arange(m))],
+        )
+        engine = RoundEngine(env, ScenarioConfig(client_fraction=0.5))
+        engine.run(strategy, 1, RunHistory("test", "x", 0))
+        caches = [c.delta_cache for c in strategy.clusters]
+        assert any(caches), "half the cohort trained, so deltas were cached"
+        for cache in caches:
+            for _, row, _ in cache.values():
+                assert row.base is None  # owns its buffer, pins nothing
+
+    def test_default_window_is_bit_identical_to_pr4(self, env_factory):
+        """delta_window=1 (the default) must not change any number under
+        scenarios the PR-4 engine already handled."""
+        env = env_factory(local_epochs=1)
+        scenario = ScenarioConfig(client_fraction=0.75, failure_rate=0.25)
+        base = make_algorithm("cfl", warmup_rounds=1).run(
+            env, n_rounds=3, scenario=scenario
+        )
+        env = env_factory(local_epochs=1)
+        explicit = make_algorithm("cfl", warmup_rounds=1, delta_window=1).run(
+            env, n_rounds=3, scenario=scenario
+        )
+        np.testing.assert_array_equal(
+            base.per_client_accuracy, explicit.per_client_accuracy
+        )
+        assert base.extras["split_rounds"] == explicit.extras["split_rounds"]

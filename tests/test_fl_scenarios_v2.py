@@ -1,0 +1,194 @@
+"""Property tests for the v2 scenario middleware primitives.
+
+Two satellite contracts from the middleware-v2 work:
+
+* **Trace round-trip** — an :class:`repro.fl.trace.AvailabilityTrace`
+  survives ``to_dict → JSON → from_dict`` (and ``save → load``) with
+  identical per-(client, round) eligibility.
+* **Budget masks** — :func:`repro.fl.train_flat.plan_cohort_schedule`
+  under per-client step caps: a zero-budget client provably has no
+  active step anywhere in the lockstep schedule, every client takes
+  exactly ``min(natural steps, budget)`` steps, and the sum of
+  per-client steps is the FedNova renormalisation denominator the
+  engine's steps-taken weights produce.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl.config import TrainConfig
+from repro.fl.train_flat import plan_cohort_schedule
+from repro.fl.trace import AvailabilityTrace
+from repro.utils.rng import rng_for
+
+# ----------------------------------------------------------------------
+# Trace round-trip
+# ----------------------------------------------------------------------
+trace_mappings = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=15),
+    values=st.sets(st.integers(min_value=1, max_value=12), max_size=8),
+    max_size=8,
+)
+
+
+class TestTraceRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(mapping=trace_mappings)
+    def test_dict_round_trip_preserves_eligibility(self, mapping):
+        trace = AvailabilityTrace(mapping)
+        payload = json.loads(json.dumps(trace.to_dict()))
+        loaded = AvailabilityTrace.from_dict(payload)
+        assert loaded == trace
+        for cid in range(16):
+            for round_index in range(1, 14):
+                assert loaded.available(cid, round_index) == trace.available(
+                    cid, round_index
+                )
+
+    @settings(max_examples=20, deadline=None)
+    @given(mapping=trace_mappings)
+    def test_file_round_trip(self, mapping):
+        trace = AvailabilityTrace(mapping)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "trace.json"
+            trace.save(path)
+            assert AvailabilityTrace.load(path) == trace
+
+    def test_unlisted_clients_are_always_available(self):
+        trace = AvailabilityTrace({3: [2]})
+        assert trace.available(0, 1) and trace.available(0, 99)
+        assert trace.available(3, 2) and not trace.available(3, 1)
+
+    def test_format_tag_is_validated(self):
+        with pytest.raises(ValueError, match="unsupported trace format"):
+            AvailabilityTrace.from_dict({"format": "bogus", "clients": {}})
+        with pytest.raises(ValueError, match="'clients' mapping"):
+            AvailabilityTrace.from_dict({})
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_clients=st.integers(min_value=1, max_value=10),
+        n_rounds=st.integers(min_value=1, max_value=8),
+        data=st.data(),
+    )
+    def test_from_events_matches_event_semantics(self, n_clients, n_rounds, data):
+        arrivals = data.draw(
+            st.dictionaries(
+                st.integers(0, n_clients - 1), st.integers(1, n_rounds), max_size=4
+            )
+        )
+        departures = {}
+        for cid, dep in data.draw(
+            st.dictionaries(
+                st.integers(0, n_clients - 1),
+                st.integers(2, n_rounds + 1),
+                max_size=4,
+            )
+        ).items():
+            if dep > arrivals.get(cid, 1):
+                departures[cid] = dep
+        trace = AvailabilityTrace.from_events(
+            n_clients, n_rounds, arrivals=arrivals, departures=departures
+        )
+        for cid in range(n_clients):
+            first = arrivals.get(cid, 1)
+            last = departures.get(cid, n_rounds + 1) - 1
+            for r in range(1, n_rounds + 1):
+                assert trace.available(cid, r) == (first <= r <= last)
+
+
+# ----------------------------------------------------------------------
+# Budget masks in the lockstep planner
+# ----------------------------------------------------------------------
+def _natural_steps(n: int, cfg: TrainConfig) -> int:
+    """Steps the serial trainer takes for a size-``n`` dataset."""
+    b = min(cfg.batch_size, n)
+    per_epoch = -(-n // b)  # ceil
+    if cfg.max_batches is not None:
+        per_epoch = min(per_epoch, cfg.max_batches)
+    total = per_epoch * cfg.local_epochs
+    if cfg.max_steps is not None:
+        total = min(total, cfg.max_steps)
+    return total
+
+
+cohorts = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=70),  # dataset size
+        st.one_of(st.none(), st.integers(min_value=0, max_value=9)),  # budget
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestBudgetMasks:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        cohort=cohorts,
+        local_epochs=st.integers(min_value=1, max_value=3),
+        batch_size=st.integers(min_value=1, max_value=32),
+    )
+    def test_budgets_truncate_schedules_exactly(
+        self, cohort, local_epochs, batch_size
+    ):
+        sizes = [n for n, _ in cohort]
+        budgets = [b for _, b in cohort]
+        cfg = TrainConfig(local_epochs=local_epochs, batch_size=batch_size)
+        rngs = [rng_for(0, 1, 1, cid) for cid in range(len(sizes))]
+        steps, _ = plan_cohort_schedule(sizes, cfg, rngs, max_steps=budgets)
+
+        taken = np.zeros(len(sizes), dtype=np.int64)
+        for step in steps:
+            for i, idx in enumerate(step.indices):
+                assert step.active[i] == (idx is not None)
+                if idx is not None:
+                    taken[i] += 1
+        for i, (n, budget) in enumerate(cohort):
+            expected = _natural_steps(n, cfg)
+            if budget is not None:
+                expected = min(expected, budget)
+            # Exactly min(natural, budget) steps — and a zero-budget
+            # client is provably inactive at every lockstep position.
+            assert taken[i] == expected
+            if budget == 0:
+                assert all(not step.active[i] for step in steps)
+        # FedNova denominator: steps-taken weights sum to the cohort's
+        # total step count.
+        assert taken.sum() == sum(step.active.sum() for step in steps)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        cohort=cohorts,
+        local_epochs=st.integers(min_value=1, max_value=2),
+    )
+    def test_none_budgets_match_unbudgeted_plan(self, cohort, local_epochs):
+        """An all-``None`` budget vector is exactly the unbudgeted plan."""
+        sizes = [n for n, _ in cohort]
+        cfg = TrainConfig(local_epochs=local_epochs, batch_size=16)
+        plain_steps, plain_width = plan_cohort_schedule(
+            sizes, cfg, [rng_for(0, 1, 1, cid) for cid in range(len(sizes))]
+        )
+        none_steps, none_width = plan_cohort_schedule(
+            sizes,
+            cfg,
+            [rng_for(0, 1, 1, cid) for cid in range(len(sizes))],
+            max_steps=[None] * len(sizes),
+        )
+        assert plain_width == none_width
+        assert len(plain_steps) == len(none_steps)
+        for a, b in zip(plain_steps, none_steps):
+            np.testing.assert_array_equal(a.active, b.active)
+            for ia, ib in zip(a.indices, b.indices):
+                if ia is None:
+                    assert ib is None
+                else:
+                    np.testing.assert_array_equal(ia, ib)

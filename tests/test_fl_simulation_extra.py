@@ -10,7 +10,6 @@ from repro.algorithms.base import (
     run_clustered_training,
 )
 from repro.fl.history import RunHistory
-from repro.fl.simulation import FederatedEnv
 
 
 class TestEnvEvaluation:
