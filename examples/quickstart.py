@@ -66,9 +66,16 @@ def main() -> None:
 
     print("\nround  train-loss  mean-local-acc  clusters")
     for record in result.history.records:
+        # Off-cadence rounds (eval_every=2) carry no measurement — the
+        # history records NaN there, not a stale copy of the last eval.
+        acc = (
+            f"{record.mean_local_accuracy:>14.3f}"
+            if record.evaluated
+            else f"{'—':>14s}"
+        )
         print(
             f"{record.round_index:>5d}  {record.mean_train_loss:>10.3f}  "
-            f"{record.mean_local_accuracy:>14.3f}  {record.n_clusters:>8d}"
+            f"{acc}  {record.n_clusters:>8d}"
         )
 
     print(f"\nfinal mean local accuracy: {result.final_accuracy:.3f} "

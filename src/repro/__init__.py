@@ -42,6 +42,7 @@ from repro.core import (
 )
 from repro.data import ArrayDataset, Federation, build_federation, make_dataset
 from repro.fl import (
+    AsyncConfig,
     CommunicationTracker,
     FederatedEnv,
     RoundEngine,
@@ -75,6 +76,7 @@ __all__ = [
     "RoundEngine",
     "RunHistory",
     "ScenarioConfig",
+    "AsyncConfig",
     "TrainConfig",
     "make_executor",
     "__version__",

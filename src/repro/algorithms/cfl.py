@@ -143,9 +143,15 @@ class _CFLRounds(RoundStrategy):
             # split margins agree to float32 round-off; the parity test
             # pins the split decisions.
             deltas = cohort - incoming
-            if algo.delta_window > 1:
+            if algo.delta_window > 1 or engine.is_async:
+                # The classic full-house gate assumes one dispatch per
+                # round; under async aggregation a buffer almost never
+                # holds a whole cluster at once, so the gate would
+                # silently disable splits forever.  Async engines route
+                # through the windowed criterion with a horizon wide
+                # enough to cover one dispatch-to-aggregation cycle.
                 split = self._windowed_split_sides(
-                    cluster, mine, deltas, round_index
+                    cluster, mine, deltas, round_index, engine
                 )
             else:
                 split = self._full_house_split_sides(
@@ -202,12 +208,29 @@ class _CFLRounds(RoundStrategy):
             return None
         return self._admissible(algo._bipartition(deltas))
 
+    def _effective_window(self, engine: RoundEngine) -> int:
+        """The delta-cache horizon in rounds.
+
+        The configured ``delta_window``, widened under async engines to
+        cover at least one dispatch-to-aggregation cycle (maximum
+        training duration plus the rounds the buffer takes to fill) —
+        with the configured window alone, cache entries could age out
+        faster than the event stream can ever cover a cluster.
+        """
+        window = self.algo.delta_window
+        async_cfg = engine.scenario.async_config
+        if async_cfg is not None:
+            _, hi = async_cfg.duration_range
+            window = max(window, hi + async_cfg.buffer_size)
+        return window
+
     def _windowed_split_sides(
         self,
         cluster: _Cluster,
         mine: list[ClientUpdate],
         deltas: np.ndarray,
         round_index: int,
+        engine: RoundEngine,
     ) -> tuple[np.ndarray, np.ndarray] | None:
         """Split on the union of the last ``delta_window`` rounds' deltas.
 
@@ -221,6 +244,7 @@ class _CFLRounds(RoundStrategy):
         zero steps, zero delta) contribute no signal and are not cached.
         """
         algo = self.algo
+        wire_dtype = engine.env.layout.wire_dtype
         update_weights = aggregation_weights(mine)
         for update, row, weight in zip(mine, deltas, update_weights):
             if weight > 0.0:
@@ -228,12 +252,16 @@ class _CFLRounds(RoundStrategy):
                 # delta matrix: caching the view would pin the whole
                 # matrix alive until the entry ages out — W full cohort
                 # matrices per cluster instead of one vector per member.
+                # Stored at the wire dtype: a Δ already crossed the
+                # network at that precision, and float64 rows cost 2×
+                # the memory (~800 MB worst case at 64 × 1.6M × W=8)
+                # for split margins the parity test pins either way.
                 cluster.delta_cache[update.client_id] = (
                     round_index,
-                    row.copy(),
+                    row.astype(wire_dtype),
                     float(update.n_samples),
                 )
-        horizon = round_index - algo.delta_window
+        horizon = round_index - self._effective_window(engine)
         cluster.delta_cache = {
             cid: entry
             for cid, entry in cluster.delta_cache.items()
@@ -242,7 +270,7 @@ class _CFLRounds(RoundStrategy):
         if any(cid not in cluster.delta_cache for cid in cluster.members):
             return None  # window does not cover the cohort yet
         cached = [cluster.delta_cache[int(cid)] for cid in cluster.members]
-        delta_mat = np.stack([entry[1] for entry in cached])
+        delta_mat = np.stack([entry[1] for entry in cached]).astype(np.float64)
         weights = np.array([entry[2] for entry in cached], dtype=np.float64)
         weights /= weights.sum()
         mean_norm = float(np.linalg.norm(weights @ delta_mat))
@@ -311,7 +339,8 @@ class CFL(FLAlgorithm):
         update delta for up to ``W`` rounds and splits on the union of
         the cached deltas once every member is covered, restoring splits
         at low client fractions.  Each cached row costs one ``n_params``
-        float64 vector until it ages out.
+        vector at the layout's wire dtype (float32 for float32 models)
+        until it ages out.
     """
 
     name = "cfl"

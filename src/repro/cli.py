@@ -103,6 +103,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="availability-trace JSON (client id -> available "
                         "rounds; see repro.fl.trace) replayed as the "
                         "participation schedule")
+    p.add_argument("--async-buffer", type=int, default=None, metavar="K",
+                   help="run the FedBuff-style async engine: aggregate "
+                        "whenever K buffered updates have arrived "
+                        "(dispatch and aggregation decouple; clients "
+                        "train across server steps)")
+    p.add_argument("--async-concurrency", type=int, default=None,
+                   metavar="M",
+                   help="cap on clients concurrently in flight "
+                        "(async mode; default unbounded)")
+    p.add_argument("--async-duration", type=int, nargs="+", default=None,
+                   metavar="STEPS",
+                   help="seeded per-dispatch training duration in server "
+                        "steps: one int for a fixed duration, two for a "
+                        "uniform [lo, hi] draw (async mode; default 1 3)")
     return parser
 
 
@@ -199,7 +213,7 @@ def _cmd_run(args: argparse.Namespace) -> dict:
     from repro.data.federation import build_federation
     from repro.experiments.presets import algorithm_kwargs, get_scale
     from repro.fl.parallel import make_executor
-    from repro.fl.rounds import ScenarioConfig
+    from repro.fl.rounds import AsyncConfig, ScenarioConfig
     from repro.fl.simulation import FederatedEnv
     from repro.fl.trace import AvailabilityTrace
 
@@ -211,6 +225,24 @@ def _cmd_run(args: argparse.Namespace) -> dict:
                 f"--compute-budget takes one or two ints, got {budget}"
             )
         budget = (budget[0], budget[-1])
+    async_config = None
+    if args.async_buffer is not None:
+        duration = args.async_duration
+        if duration is not None and len(duration) > 2:
+            raise SystemExit(
+                f"--async-duration takes one or two ints, got {duration}"
+            )
+        kwargs = {"buffer_size": args.async_buffer}
+        if args.async_concurrency is not None:
+            kwargs["max_concurrency"] = args.async_concurrency
+        if duration is not None:
+            kwargs["duration_range"] = (duration[0], duration[-1])
+        async_config = AsyncConfig(**kwargs)
+    elif args.async_concurrency is not None or args.async_duration is not None:
+        raise SystemExit(
+            "--async-concurrency/--async-duration need --async-buffer K "
+            "(they configure the async engine)"
+        )
     # Scenario policy composes with every algorithm through the round
     # engine — not just FedAvg's constructor fraction.
     scenario = ScenarioConfig(
@@ -220,6 +252,7 @@ def _cmd_run(args: argparse.Namespace) -> dict:
         staleness_decay=args.staleness_decay,
         compute_budget=budget,
         trace=AvailabilityTrace.load(args.trace) if args.trace else None,
+        async_config=async_config,
     )
     n_clients = args.clients or scale.n_clients
     n_rounds = args.rounds or scale.n_rounds
@@ -267,6 +300,15 @@ def _cmd_run(args: argparse.Namespace) -> dict:
             "staleness_decay": args.staleness_decay,
             "compute_budget": list(budget) if budget else None,
             "trace": args.trace,
+            "async": (
+                {
+                    "buffer_size": async_config.buffer_size,
+                    "max_concurrency": async_config.max_concurrency,
+                    "duration_range": list(async_config.duration_range),
+                }
+                if async_config
+                else None
+            ),
         },
         "history": result.history.to_dict(),
     }

@@ -288,6 +288,14 @@ class FedClust(FLAlgorithm):
         exactly.  ``absent`` names clients not yet present (scenario
         arrival events): they receive no warm-up task and hold the
         fallback label until the newcomer path re-routes them.
+
+        The clustering round is a synchronous barrier even under an
+        async scenario: it runs through :meth:`RoundEngine.dispatch`
+        (the lockstep primitive), because the one-shot signature
+        clustering needs every responder's warm-up *before* any cluster
+        model exists to train against — there is no model to aggregate
+        into a buffer yet.  Only the training rounds that follow stream
+        through the async engine.
         """
         m = env.federation.n_clients
         engine = engine or RoundEngine(env)

@@ -43,6 +43,7 @@ from repro.fl.parallel import (
     make_executor,
 )
 from repro.fl.rounds import (
+    AsyncConfig,
     RoundEngine,
     RoundOutcome,
     RoundStrategy,
@@ -94,6 +95,7 @@ __all__ = [
     "RoundOutcome",
     "RoundStrategy",
     "ScenarioConfig",
+    "AsyncConfig",
     "aggregation_weights",
     "AvailabilityTrace",
     "full_participation",

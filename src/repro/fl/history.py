@@ -13,10 +13,22 @@ __all__ = ["RoundRecord", "RunHistory"]
 class RoundRecord:
     """Metrics for one communication round.
 
-    ``n_stale`` counts stale (previous-round straggler) updates folded
-    into this round's aggregation; ``n_departed`` counts clients whose
-    departure round is this one.  Both stay 0 under scenarios that do
-    not exercise the middleware.
+    ``n_stale`` counts stale (late-arriving) updates folded into this
+    round's aggregation; ``n_departed`` counts clients whose departure
+    round is this one.  Both stay 0 under scenarios that do not
+    exercise the middleware.
+
+    ``evaluated`` marks whether this round actually ran the Table-I
+    evaluation: off-cadence rounds (``eval_every > 1``) record
+    ``mean_local_accuracy`` as NaN with ``evaluated=False``, so a
+    history distinguishes "measured" from "not measured" instead of
+    carrying the previous evaluation forward.
+
+    ``aggregation_event``/``n_buffered`` are the async engine's event
+    stream: whether this server step folded buffered updates into the
+    model, and how many arrived updates remain buffered afterwards.
+    Synchronous rounds aggregate every step with an empty buffer, which
+    the defaults encode.
     """
 
     round_index: int
@@ -29,6 +41,9 @@ class RoundRecord:
     wall_seconds: float = 0.0
     n_stale: int = 0
     n_departed: int = 0
+    n_buffered: int = 0
+    aggregation_event: bool = True
+    evaluated: bool = True
 
 
 @dataclass
@@ -58,12 +73,26 @@ class RunHistory:
 
     @property
     def best_accuracy(self) -> float:
-        if not self.records:
-            return float("nan")
-        return max(r.mean_local_accuracy for r in self.records)
+        """Best *evaluated* accuracy (NaN if no round was evaluated).
+
+        Off-cadence rounds carry NaN accuracies; a plain ``max()`` over
+        them is poisoned by NaN ordering, so only evaluated records
+        compete.
+        """
+        measured = [
+            r.mean_local_accuracy
+            for r in self.records
+            if r.evaluated and not np.isnan(r.mean_local_accuracy)
+        ]
+        return max(measured) if measured else float("nan")
 
     def accuracy_curve(self) -> np.ndarray:
-        """Mean local accuracy per round, shape ``(n_rounds,)``."""
+        """Mean local accuracy per round, shape ``(n_rounds,)``.
+
+        NaN entries mark rounds the evaluation cadence skipped; plot
+        them as gaps (or filter via the records' ``evaluated`` flags),
+        do not interpolate them as flat segments.
+        """
         return np.array([r.mean_local_accuracy for r in self.records])
 
     def loss_curve(self) -> np.ndarray:
@@ -113,4 +142,10 @@ class RunHistory:
             "comm_curve": self.comm_curve().tolist(),
             "n_stale_total": int(self.stale_curve().sum()),
             "n_departed_total": int(self.departure_curve().sum()),
+            "evaluated_rounds": [
+                r.round_index for r in self.records if r.evaluated
+            ],
+            "n_aggregation_events": sum(
+                1 for r in self.records if r.aggregation_event
+            ),
         }

@@ -50,6 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "UpdateTask",
+    "InFlightBuffer",
     "SerialClientExecutor",
     "ThreadClientExecutor",
     "ProcessClientExecutor",
@@ -93,6 +94,71 @@ class UpdateTask:
                 f"task for client {self.client_id}: max_steps must be >= 0, "
                 f"got {self.max_steps}"
             )
+
+
+class InFlightBuffer:
+    """Dispatched-but-undelivered client work, keyed by delivery round.
+
+    The async round engine's in-flight ledger.  Results are computed
+    eagerly at dispatch (every executor already guarantees (round,
+    client)-seeded bit-identical updates, so *when* the work runs cannot
+    change *what* it produces) and held here until their seeded training
+    duration elapses; :meth:`collect_due` then releases them in
+    deterministic dispatch order — (dispatch round, dispatch position) —
+    regardless of executor kind or duration interleaving.
+    """
+
+    def __init__(self) -> None:
+        # (delivery round, dispatch sequence, dispatch round, update)
+        self._pending: list[tuple[int, int, int, ClientUpdate]] = []
+        self._seq = 0
+
+    def add(
+        self,
+        updates: Sequence[ClientUpdate],
+        dispatch_round: int,
+        completes_at: Sequence[int],
+    ) -> None:
+        """Record freshly-dispatched updates and their delivery rounds."""
+        if len(updates) != len(completes_at):
+            raise ValueError(
+                f"{len(updates)} updates but {len(completes_at)} delivery rounds"
+            )
+        for update, done in zip(updates, completes_at):
+            if int(done) < int(dispatch_round):
+                raise ValueError(
+                    f"client {update.client_id} would deliver in round {done}, "
+                    f"before its dispatch round {dispatch_round}"
+                )
+            self._pending.append(
+                (int(done), self._seq, int(dispatch_round), update)
+            )
+            self._seq += 1
+
+    def collect_due(
+        self, round_index: int
+    ) -> list[tuple[int, ClientUpdate]]:
+        """Release every update whose delivery round has come.
+
+        Returns ``(dispatch_round, update)`` pairs sorted by dispatch
+        order, so the server's buffer fills identically however the
+        durations interleave.
+        """
+        due = [entry for entry in self._pending if entry[0] <= round_index]
+        if due:
+            self._pending = [
+                entry for entry in self._pending if entry[0] > round_index
+            ]
+            due.sort(key=lambda entry: entry[1])
+        return [(dispatch_round, update) for _, _, dispatch_round, update in due]
+
+    @property
+    def client_ids(self) -> frozenset[int]:
+        """Clients currently mid-training (never re-dispatched)."""
+        return frozenset(update.client_id for *_, update in self._pending)
+
+    def __len__(self) -> int:
+        return len(self._pending)
 
 
 def _pack_tasks(

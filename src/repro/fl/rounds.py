@@ -97,7 +97,7 @@ import numpy as np
 
 from repro.fl.client import ClientUpdate
 from repro.fl.history import RoundRecord, RunHistory
-from repro.fl.parallel import UpdateTask
+from repro.fl.parallel import InFlightBuffer, UpdateTask
 from repro.fl.sampling import sample_from, uniform_sample
 from repro.fl.trace import AvailabilityTrace
 from repro.utils.rng import rng_for
@@ -110,12 +110,15 @@ __all__ = [
     "FAILURE_TAG",
     "STRAGGLER_TAG",
     "BUDGET_TAG",
+    "DURATION_TAG",
+    "AsyncConfig",
     "ScenarioConfig",
     "DispatchOutcome",
     "RoundOutcome",
     "RoundStrategy",
     "RoundEngine",
     "aggregation_weights",
+    "discounted_update",
 ]
 
 #: rng_for namespace tag of the failure stream.  Value 13 is load-bearing:
@@ -126,6 +129,10 @@ FAILURE_TAG = 13
 STRAGGLER_TAG = 17
 #: Per-(round, client) compute-budget draws use their own stream.
 BUDGET_TAG = 19
+#: Per-(dispatch round, client) training-duration draws for the async
+#: engine use their own stream, so async interleavings are a pure
+#: function of (seed, scenario) — deterministic and executor-invariant.
+DURATION_TAG = 23
 
 
 def aggregation_weights(updates: Sequence[ClientUpdate]) -> np.ndarray:
@@ -146,6 +153,90 @@ def aggregation_weights(updates: Sequence[ClientUpdate]) -> np.ndarray:
         ],
         dtype=np.float64,
     )
+
+
+def discounted_update(
+    update: ClientUpdate, decay: float, age: int
+) -> ClientUpdate:
+    """A *copy* of ``update`` carrying the staleness-discounted weight.
+
+    The folded weight is ``base × decay ** age`` where ``base`` is the
+    update's effective aggregation weight (its ``weight`` if set —
+    compute budgets set it to steps taken — else its sample count).
+    The input object is never mutated: buffers that observe the same
+    update twice (async re-buffering, trace replay, a strategy keeping
+    a reference) must not compound the discount.  The copy is shallow —
+    the flat row and state mapping are shared, which is safe because
+    aggregation only reads them.
+    """
+    import dataclasses
+
+    base = update.weight if update.weight is not None else float(update.n_samples)
+    return dataclasses.replace(update, weight=base * decay**age)
+
+
+@dataclass(frozen=True)
+class AsyncConfig:
+    """FedBuff-style event-stream policy: dispatch ≠ aggregation.
+
+    With an ``AsyncConfig`` on the scenario, the engine stops running
+    lockstep rounds.  Each server step it dispatches fresh work to free
+    clients (up to ``max_concurrency`` total in flight), every dispatch
+    draws a seeded per-(dispatch round, client) *training duration* in
+    server steps (tag :data:`DURATION_TAG`, uniform over
+    ``duration_range``), and a client's update arrives at the server
+    ``duration`` steps after dispatch.  Arrivals accumulate in a buffer;
+    whenever ``buffer_size`` updates are buffered the server aggregates
+    the whole buffer, discounting each update by ``decay ** age`` (age =
+    aggregation round − dispatch round; ``staleness_decay == 0`` means
+    undiscounted — async has no "discard stragglers" mode, lateness is
+    the normal case).
+
+    The synchronous engine is the exact special case
+    ``buffer_size = |participants|``, ``duration_range = (1, 1)``,
+    ``max_concurrency = None``: every dispatched update arrives in its
+    own dispatch round and the buffer fills exactly once per round.
+
+    Attributes
+    ----------
+    buffer_size:
+        K: aggregate whenever this many updates are buffered.  The final
+        round flushes a partially-filled buffer so arrived work is never
+        discarded.
+    max_concurrency:
+        M: cap on clients concurrently in flight (``None`` = unbounded).
+        When the cap binds, the deterministically-lowest client ids of
+        the round's selection are dispatched.
+    duration_range:
+        ``(lo, hi)`` server-step training durations (an int is shorthand
+        for ``(d, d)``); each dispatch draws uniformly from ``[lo, hi]``.
+        A duration of 1 completes within its dispatch round.
+    """
+
+    buffer_size: int = 1
+    max_concurrency: int | None = None
+    duration_range: tuple[int, int] | int = (1, 3)
+
+    def __post_init__(self) -> None:
+        check_positive("buffer_size", self.buffer_size)
+        if self.max_concurrency is not None:
+            check_positive("max_concurrency", self.max_concurrency)
+        duration = self.duration_range
+        if isinstance(duration, (int, np.integer)):
+            duration = (int(duration), int(duration))
+        else:
+            duration = tuple(int(d) for d in duration)
+        if len(duration) != 2:
+            raise ValueError(
+                "duration_range must be an int or a (lo, hi) pair, "
+                f"got {self.duration_range!r}"
+            )
+        lo, hi = duration
+        if lo < 1 or hi < lo:
+            raise ValueError(
+                f"duration_range needs 1 <= lo <= hi, got ({lo}, {hi})"
+            )
+        object.__setattr__(self, "duration_range", (lo, hi))
 
 
 @dataclass(frozen=True)
@@ -197,6 +288,16 @@ class ScenarioConfig:
         exactly which rounds each listed client is reachable; unlisted
         clients are always on.  Composes with arrivals/departures by
         intersection.
+    async_config:
+        ``None`` (default) keeps the synchronous lockstep loop.  An
+        :class:`AsyncConfig` switches the engine to the FedBuff-style
+        event-stream loop: dispatch and aggregation decouple, clients
+        stay in flight across server steps, and ``staleness_decay``
+        becomes the per-step-of-age buffer discount.  Incompatible with
+        ``straggler_rate`` — stragglers are a synchronous-deadline
+        concept; model latency via ``duration_range`` instead.  All
+        other middleware (participation, failures, budgets, arrivals,
+        departures, traces) composes unchanged.
     """
 
     client_fraction: float = 1.0
@@ -208,6 +309,7 @@ class ScenarioConfig:
     compute_budget: tuple[int, int] | int | None = None
     departures: Mapping[int, int] | None = None
     trace: AvailabilityTrace | Mapping | None = None
+    async_config: AsyncConfig | None = None
 
     def __post_init__(self) -> None:
         check_fraction("client_fraction", self.client_fraction)
@@ -254,6 +356,13 @@ class ScenarioConfig:
                     )
         if self.trace is not None and not isinstance(self.trace, AvailabilityTrace):
             object.__setattr__(self, "trace", AvailabilityTrace(self.trace))
+        if self.async_config is not None and self.straggler_rate > 0.0:
+            raise ValueError(
+                "straggler_rate composes only with the synchronous engine "
+                "— under async dispatch there is no aggregation deadline "
+                "to miss; model client latency via "
+                "AsyncConfig.duration_range instead"
+            )
 
     @property
     def is_default(self) -> bool:
@@ -267,6 +376,7 @@ class ScenarioConfig:
             and self.compute_budget is None
             and not self.departures
             and self.trace is None
+            and self.async_config is None
         )
 
     def validate_for(self, n_clients: int) -> None:
@@ -429,8 +539,27 @@ class RoundEngine:
         self.stale_log: list[tuple[int, list[int]]] = []
         #: (round, departed client ids) — departure middleware log.
         self.departure_log: list[tuple[int, list[int]]] = []
+        #: (round, dispatched client ids) — every cohort the engine sent
+        #: work to, including clients that then failed or straggled.
+        #: Together with drop/straggler logs this is the realized
+        #: schedule (:meth:`realized_trace`).
+        self.participation_log: list[tuple[int, list[int]]] = []
         #: client id → (round produced, late update) awaiting folding.
         self._stale_buffer: dict[int, tuple[int, ClientUpdate]] = {}
+        #: Async mode: dispatched-but-undelivered work (durations drawn
+        #: on the DURATION_TAG stream decide the delivery round).
+        self._in_flight = InFlightBuffer()
+        #: Async mode: (dispatch round, update) pairs arrived at the
+        #: server but not yet aggregated.
+        self._async_buffer: list[tuple[int, ClientUpdate]] = []
+        #: Async throughput counters (updates-absorbed/sec benchmark).
+        self.n_aggregation_events = 0
+        self.n_updates_absorbed = 0
+
+    @property
+    def is_async(self) -> bool:
+        """True when the scenario runs the event-stream (FedBuff) loop."""
+        return self.scenario.async_config is not None
 
     # ------------------------------------------------------------------
     # Scenario middleware
@@ -480,7 +609,9 @@ class RoundEngine:
             dtype=np.int64,
         )
 
-    def select_participants(self, round_index: int) -> np.ndarray:
+    def select_participants(
+        self, round_index: int, exclude: Sequence[int] | None = None
+    ) -> np.ndarray:
         """This round's participant set (sorted client ids).
 
         Full participation returns the eligible set unchanged; otherwise
@@ -488,8 +619,16 @@ class RoundEngine:
         stream (and, with every client eligible, the same call) FedAvg's
         historical ``_participants`` used, so seeded sampled runs are
         reproduced exactly.
+
+        ``exclude`` removes clients from the eligible pool before
+        sampling — the async loop passes the in-flight set so a client
+        is never dispatched twice concurrently.  An empty/None exclusion
+        leaves the synchronous draw sequence untouched.
         """
         eligible = self.eligible_clients(round_index)
+        if exclude is not None and len(exclude) and eligible.size:
+            gone = np.asarray(sorted(int(c) for c in exclude), dtype=np.int64)
+            eligible = eligible[~np.isin(eligible, gone)]
         fraction = self.scenario.client_fraction
         if fraction >= 1.0 or eligible.size <= 1:
             return eligible
@@ -582,11 +721,10 @@ class RoundEngine:
             if cid in fresh:
                 continue  # superseded: one update per client per round
             age = round_index - produced
-            base = update.weight if update.weight is not None else float(
-                update.n_samples
-            )
-            update.weight = base * decay**age
-            dispatched.survivors.append(update)
+            # Fold a discounted *copy*: the buffered object stays
+            # pristine, so a path that observes the same update twice
+            # can never compound the decay.
+            dispatched.survivors.append(discounted_update(update, decay, age))
             folded.append(cid)
         for update in dispatched.late:
             self._stale_buffer[update.client_id] = (round_index, update)
@@ -659,10 +797,22 @@ class RoundEngine:
         """Run ``n_rounds`` engine rounds, appending to ``history``.
 
         Returns the last evaluation ``(mean accuracy, per-client
-        accuracies)``; the final round is always evaluated.
+        accuracies)``; the final round is always evaluated.  Rounds off
+        the ``eval_every`` cadence record ``mean_local_accuracy`` as NaN
+        with ``evaluated=False`` — a history distinguishes "measured"
+        from "not measured this round" instead of silently carrying the
+        previous evaluation forward.
+
+        With an :class:`AsyncConfig` on the scenario the engine runs the
+        event-stream loop (:meth:`_run_async`) instead; the synchronous
+        path below is byte-for-byte the PR-5 loop.
         """
         if n_rounds < 1:
             raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
+        if self.is_async:
+            return self._run_async(
+                strategy, n_rounds, history, first_round, eval_every
+            )
         env = self.env
         m = env.federation.n_clients
         mean_acc, per_client = float("nan"), np.full(m, np.nan)
@@ -678,6 +828,10 @@ class RoundEngine:
             if arrived.size:
                 strategy.on_arrivals(self, round_index, arrived)
             participants = self.select_participants(round_index)
+            if participants.size:
+                self.participation_log.append(
+                    (round_index, [int(c) for c in participants])
+                )
             tasks = strategy.broadcast_for(self, round_index, participants)
             charge = strategy.charges_communication
             dispatched = self.dispatch(
@@ -695,7 +849,7 @@ class RoundEngine:
                 RoundRecord(
                     round_index=round_index,
                     mean_train_loss=train_loss,
-                    mean_local_accuracy=mean_acc,
+                    mean_local_accuracy=mean_acc if evaluated else float("nan"),
                     n_participants=len(participants),
                     n_clusters=strategy.current_n_clusters(),
                     uploaded_params=env.tracker.total_uploaded,
@@ -703,6 +857,7 @@ class RoundEngine:
                     wall_seconds=time.perf_counter() - t0,
                     n_stale=len(stale_ids),
                     n_departed=int(departed.size),
+                    evaluated=evaluated,
                 )
             )
             strategy.on_round_end(
@@ -722,3 +877,200 @@ class RoundEngine:
                 ),
             )
         return mean_acc, per_client
+
+    # ------------------------------------------------------------------
+    # The async event-stream lifecycle (FedBuff-style)
+    # ------------------------------------------------------------------
+    def _run_async(
+        self,
+        strategy: RoundStrategy,
+        n_rounds: int,
+        history: RunHistory,
+        first_round: int,
+        eval_every: int,
+    ) -> tuple[float, np.ndarray]:
+        """Dispatch and aggregation as separate event streams.
+
+        Per server step: deliver due in-flight updates into the buffer,
+        dispatch fresh work to free clients (failures and budgets apply
+        at dispatch; each dispatch draws a seeded duration), and fire an
+        aggregation event when the buffer holds ``buffer_size`` updates
+        — every buffered update folds at ``decay ** age`` into a *copy*
+        (:func:`discounted_update`), so strategies see one survivor list
+        exactly as in the synchronous loop.  Client results are computed
+        eagerly at dispatch time (they depend only on the seeded
+        (dispatch round, client) stream and the broadcast payload, so
+        executor kind cannot change them) and merely *delivered* late.
+
+        Steps without an aggregation event log a NaN train loss with
+        ``aggregation_event=False``; evaluation runs on its usual
+        cadence against whatever state the strategy currently holds.
+        The final round flushes a partially-filled buffer; work still in
+        flight at the end of the run is abandoned (server shutdown).
+        """
+        cfg = self.scenario.async_config
+        assert cfg is not None
+        lo, hi = cfg.duration_range
+        env = self.env
+        m = env.federation.n_clients
+        decay = self.scenario.staleness_decay
+        mean_acc, per_client = float("nan"), np.full(m, np.nan)
+        last_round = first_round + n_rounds - 1
+        budget = self.scenario.compute_budget
+
+        for round_index in range(first_round, last_round + 1):
+            t0 = time.perf_counter()
+            departed = self.departures_at(round_index)
+            if departed.size:
+                self.departure_log.append((round_index, departed.tolist()))
+                strategy.on_departures(self, round_index, departed)
+            arrived = self.arrivals_at(round_index)
+            if arrived.size:
+                strategy.on_arrivals(self, round_index, arrived)
+
+            # --- dispatch stream: fresh work for free clients ---------
+            participants = self.select_participants(
+                round_index, exclude=self._in_flight.client_ids
+            )
+            if cfg.max_concurrency is not None:
+                slots = cfg.max_concurrency - len(self._in_flight)
+                participants = participants[: max(0, slots)]
+            if participants.size:
+                self.participation_log.append(
+                    (round_index, [int(c) for c in participants])
+                )
+            tasks = strategy.broadcast_for(self, round_index, participants)
+            charge = strategy.charges_communication
+            if charge and tasks:
+                env.tracker.record_download(
+                    env.n_params * len(tasks), self.phase
+                )
+            alive, failed_ids = self._apply_failures(tasks, round_index)
+            if failed_ids:
+                self.drop_log.append((round_index, failed_ids))
+            self._apply_budgets(alive, round_index)
+            updates = env.run_updates(alive, round_index)
+            if budget is not None:
+                for update in updates:
+                    update.weight = float(update.n_batches)
+            completes_at = [
+                round_index
+                - 1
+                + int(
+                    rng_for(
+                        env.seed, DURATION_TAG, round_index, task.client_id
+                    ).integers(lo, hi + 1)
+                )
+                for task in alive
+            ]
+            self._in_flight.add(updates, round_index, completes_at)
+
+            # --- arrival stream: absorb due updates into the buffer ---
+            due = self._in_flight.collect_due(round_index)
+            if charge and due:
+                env.tracker.record_upload(env.n_params * len(due), self.phase)
+            for dispatch_round, update in due:
+                # One update per client per aggregation: a newer arrival
+                # supersedes an older buffered one (the old upload was
+                # still charged — it did cross the network).
+                self._async_buffer = [
+                    entry
+                    for entry in self._async_buffer
+                    if entry[1].client_id != update.client_id
+                ]
+                self._async_buffer.append((dispatch_round, update))
+
+            # --- aggregation event at K buffered (final round flushes)
+            aggregation_event = len(self._async_buffer) >= cfg.buffer_size or (
+                round_index == last_round and bool(self._async_buffer)
+            )
+            train_loss = float("nan")
+            stale_ids: list[int] = []
+            folded: list[ClientUpdate] = []
+            if aggregation_event:
+                folded = [
+                    update
+                    if round_index == dispatch_round
+                    else discounted_update(
+                        update, decay if decay > 0.0 else 1.0, round_index - dispatch_round
+                    )
+                    for dispatch_round, update in self._async_buffer
+                ]
+                stale_ids = sorted(
+                    update.client_id
+                    for dispatch_round, update in self._async_buffer
+                    if round_index > dispatch_round
+                )
+                if stale_ids:
+                    self.stale_log.append((round_index, stale_ids))
+                self._async_buffer = []
+                train_loss = strategy.aggregate(self, round_index, folded)
+                self.n_aggregation_events += 1
+                self.n_updates_absorbed += len(folded)
+
+            evaluated = round_index == last_round or round_index % eval_every == 0
+            if evaluated:
+                mean_acc, per_client = strategy.evaluate(self, round_index)
+            history.append(
+                RoundRecord(
+                    round_index=round_index,
+                    mean_train_loss=train_loss,
+                    mean_local_accuracy=mean_acc if evaluated else float("nan"),
+                    n_participants=len(participants),
+                    n_clusters=strategy.current_n_clusters(),
+                    uploaded_params=env.tracker.total_uploaded,
+                    downloaded_params=env.tracker.total_downloaded,
+                    wall_seconds=time.perf_counter() - t0,
+                    n_stale=len(stale_ids),
+                    n_departed=int(departed.size),
+                    n_buffered=len(self._async_buffer),
+                    aggregation_event=aggregation_event,
+                    evaluated=evaluated,
+                )
+            )
+            strategy.on_round_end(
+                self,
+                RoundOutcome(
+                    round_index=round_index,
+                    participants=participants,
+                    survivors=folded,
+                    failed=np.array(failed_ids, dtype=np.int64),
+                    stragglers=np.empty(0, dtype=np.int64),
+                    arrived=arrived,
+                    train_loss=train_loss,
+                    evaluated=evaluated,
+                    mean_accuracy=mean_acc,
+                    stale=np.array(stale_ids, dtype=np.int64),
+                    departed=departed,
+                ),
+            )
+        return mean_acc, per_client
+
+    # ------------------------------------------------------------------
+    # Realized-schedule capture
+    # ------------------------------------------------------------------
+    def realized_trace(self) -> AvailabilityTrace:
+        """The schedule this engine actually executed, as a trace.
+
+        Per client, the rounds in which it *delivered on time*:
+        dispatched (participation log) minus seeded failures and
+        deadline misses (drop/straggler logs).  Every client of the
+        federation is listed — including never-dispatched ones with an
+        empty round set — so replaying the trace through a fresh
+        ``ScenarioConfig(trace=..., client_fraction=1.0)`` reproduces
+        exactly the original survivor cohorts without re-rolling any
+        failure/straggler/sampling dice.  (Replay equivalence covers
+        the aggregation stream; scenarios that *fold* straggler work
+        late — ``staleness_decay > 0`` — deliver extra stale updates
+        the trace deliberately does not re-create.)
+        """
+        m = self.env.federation.n_clients
+        rounds: dict[int, set[int]] = {cid: set() for cid in range(m)}
+        for round_index, ids in self.participation_log:
+            for cid in ids:
+                rounds[cid].add(round_index)
+        for log in (self.drop_log, self.straggler_log):
+            for round_index, ids in log:
+                for cid in ids:
+                    rounds.get(cid, set()).discard(round_index)
+        return AvailabilityTrace(rounds)

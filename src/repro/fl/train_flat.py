@@ -183,6 +183,7 @@ def select_factored_keys(
     n_steps: int,
     batch_width: int,
     factor_bytes_cap: int = _FACTOR_BYTES_CAP,
+    step_counts: Sequence[int] | None = None,
 ) -> frozenset[str]:
     """Linear weights that should use the factored representation.
 
@@ -191,11 +192,32 @@ def select_factored_keys(
     corrections and final materialisation cost as much as dense
     updates — and while the cohort's total factor storage stays under
     ``factor_bytes_cap``.
+
+    ``step_counts`` (when given) are the *per-client* step counts of the
+    planned schedule — the compute-budget path, where clients drop out
+    of the lockstep schedule early.  A client's effective factor rank is
+    its own ``steps_c × batch``, so the rank criterion uses the cohort
+    mean instead of the cohort max: without it, one unbudgeted client
+    forces the whole cohort dense even when the typical member's rank is
+    far below the threshold.  The storage estimate stays at the cohort
+    max — factors allocate full ``(clients, batch)`` planes per lockstep
+    position regardless of who is active.  With uniform step counts
+    (every ``None``-budget cohort) the mean equals ``n_steps`` and the
+    selection is unchanged.
     """
     named = batchable_layers(model)
     if named is None:
         return frozenset()
-    rank = n_steps * batch_width
+    if step_counts is not None:
+        if len(step_counts) != n_clients:
+            raise ValueError(
+                f"step_counts has {len(step_counts)} entries for "
+                f"{n_clients} clients"
+            )
+        mean_steps = float(np.mean([int(s) for s in step_counts]))
+    else:
+        mean_steps = float(n_steps)
+    rank = mean_steps * batch_width
     keys: set[str] = set()
     budget = factor_bytes_cap
     for name, child in named:
@@ -281,8 +303,19 @@ def train_cohort_flat(
     steps, batch_width = plan_cohort_schedule(sizes, cfg, rngs, max_steps)
     n_clients = len(client_ids)
     if factored_keys is None:
+        # Per-client step counts feed the rank estimate so budgeted
+        # cohorts route factored by their typical (not worst-case) rank.
+        step_counts = (
+            np.sum([step.active for step in steps], axis=0).astype(int)
+            if steps
+            else np.zeros(n_clients, dtype=int)
+        )
         factored_keys = select_factored_keys(
-            env.scratch_model, n_clients, len(steps), batch_width
+            env.scratch_model,
+            n_clients,
+            len(steps),
+            batch_width,
+            step_counts=step_counts,
         )
 
     incoming_flat = np.asarray(incoming_flat, dtype=np.float64)

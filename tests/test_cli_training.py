@@ -121,6 +121,7 @@ class TestCliExecution:
             "staleness_decay": 0.0,
             "compute_budget": None,
             "trace": None,
+            "async": None,
         }
         assert 0.0 <= payload["final_accuracy"] <= 1.0
         # IFCA has no constructor fraction — participation must have

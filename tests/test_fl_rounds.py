@@ -30,7 +30,7 @@ from repro.fl.config import TrainConfig
 from repro.fl.parallel import UpdateTask
 from repro.fl.rounds import RoundEngine, ScenarioConfig, aggregation_weights
 from repro.fl.simulation import FederatedEnv
-from repro.fl.history import RunHistory
+from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.trace import AvailabilityTrace
 
 #: (final accuracy, last-round mean train loss, uploaded, downloaded)
@@ -754,6 +754,10 @@ class TestCFLWindowedSplits:
         for cache in caches:
             for _, row, _ in cache.values():
                 assert row.base is None  # owns its buffer, pins nothing
+                # Rows are held at the wire dtype, not the server's
+                # float64 working precision — the cache's whole cost is
+                # W x m x n_params, and float32 halves it.
+                assert row.dtype == env.layout.wire_dtype
 
     def test_default_window_is_bit_identical_to_pr4(self, env_factory):
         """delta_window=1 (the default) must not change any number under
@@ -771,3 +775,57 @@ class TestCFLWindowedSplits:
             base.per_client_accuracy, explicit.per_client_accuracy
         )
         assert base.extras["split_rounds"] == explicit.extras["split_rounds"]
+
+
+# ----------------------------------------------------------------------
+# Evaluation cadence: off-cadence rounds are "not measured", not stale
+# ----------------------------------------------------------------------
+class TestEvalCadence:
+    def test_off_cadence_rounds_record_nan(self, env_factory):
+        """With eval_every=3 over 4 rounds only rounds 3 and 4 (the
+        final round always evaluates) carry a measurement; rounds 1-2
+        must say NaN + evaluated=False instead of replaying the last
+        evaluation as if it were fresh."""
+        env = env_factory(local_epochs=1)
+        result = make_algorithm("fedavg").run(env, n_rounds=4, eval_every=3)
+        records = result.history.records
+        assert [r.evaluated for r in records] == [False, False, True, True]
+        assert np.isnan(records[0].mean_local_accuracy)
+        assert np.isnan(records[1].mean_local_accuracy)
+        assert np.isfinite(records[2].mean_local_accuracy)
+        assert np.isfinite(records[3].mean_local_accuracy)
+
+    def test_best_accuracy_ignores_unevaluated_rounds(self, env_factory):
+        """Python's max() is poisoned by NaN ordering — best_accuracy
+        must compete only evaluated records."""
+        env = env_factory(local_epochs=1)
+        result = make_algorithm("fedavg").run(env, n_rounds=4, eval_every=3)
+        history = result.history
+        assert np.isfinite(history.best_accuracy)
+        assert history.best_accuracy == max(
+            r.mean_local_accuracy for r in history.records if r.evaluated
+        )
+        payload = history.to_dict()
+        assert payload["evaluated_rounds"] == [3, 4]
+        assert np.isfinite(payload["best_accuracy"])
+
+    def test_rounds_to_accuracy_is_nan_safe(self):
+        """NaN >= target is False, so unevaluated rounds can never be
+        reported as the round a target was reached."""
+        history = RunHistory("fedavg", "x", 0)
+        for i, (acc, evaluated) in enumerate(
+            [(float("nan"), False), (0.9, True)], start=1
+        ):
+            history.append(
+                RoundRecord(
+                    round_index=i,
+                    mean_train_loss=0.0,
+                    mean_local_accuracy=acc,
+                    n_participants=1,
+                    n_clusters=1,
+                    uploaded_params=0,
+                    downloaded_params=0,
+                    evaluated=evaluated,
+                )
+            )
+        assert history.rounds_to_accuracy(0.5) == 2

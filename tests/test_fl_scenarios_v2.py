@@ -192,3 +192,135 @@ class TestBudgetMasks:
                     assert ib is None
                 else:
                     np.testing.assert_array_equal(ia, ib)
+
+
+# ----------------------------------------------------------------------
+# Realized-trace capture and replay
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def trace_env_factory():
+    from repro.data.federation import build_federation
+    from repro.fl.simulation import FederatedEnv
+
+    federation = build_federation(
+        "cifar10", n_clients=8, n_samples=800, seed=5, partition="label_cluster"
+    )
+
+    def make():
+        return FederatedEnv(
+            federation,
+            model_name="mlp",
+            model_kwargs={"hidden": (96,)},
+            train_cfg=TrainConfig(
+                local_epochs=1, batch_size=32, lr=0.05, momentum=0.9
+            ),
+            seed=2,
+        )
+
+    return make
+
+
+class TestRealizedTrace:
+    def test_capture_lists_every_client(self, trace_env_factory):
+        from repro.algorithms.registry import make_algorithm
+        from repro.fl.rounds import ScenarioConfig
+
+        env = trace_env_factory()
+        result = make_algorithm("fedavg").run(
+            env,
+            n_rounds=4,
+            scenario=ScenarioConfig(client_fraction=0.5, failure_rate=0.3),
+        )
+        trace = result.extras["realized_trace"]
+        assert isinstance(trace, AvailabilityTrace)
+        # Every client is listed, never-on-time ones with an empty set,
+        # so replay treats absence as "unavailable", not "unrestricted".
+        assert trace.clients == frozenset(range(8))
+        # Survivors = dispatched minus dropped, per round.
+        dropped = {
+            (r, cid) for r, ids in result.extras["drop_log"] for cid in ids
+        }
+        for cid in range(8):
+            for r in trace.rounds_for(cid):
+                assert (r, cid) not in dropped
+
+    def test_replay_reproduces_survivor_cohorts_bit_for_bit(
+        self, trace_env_factory
+    ):
+        """Replaying a captured schedule under a clean scenario (no
+        failure/straggler/sampling dice) must put exactly the original
+        survivors in every aggregation — same model, same per-client
+        accuracy."""
+        from repro.algorithms.registry import make_algorithm
+        from repro.fl.rounds import ScenarioConfig
+
+        env = trace_env_factory()
+        original = make_algorithm("fedavg").run(
+            env,
+            n_rounds=4,
+            scenario=ScenarioConfig(
+                client_fraction=0.5, failure_rate=0.3, straggler_rate=0.2
+            ),
+        )
+        trace = original.extras["realized_trace"]
+        replay_env = trace_env_factory()
+        replayed = make_algorithm("fedavg").run(
+            replay_env, n_rounds=4, scenario=ScenarioConfig(trace=trace)
+        )
+        np.testing.assert_array_equal(
+            original.per_client_accuracy, replayed.per_client_accuracy
+        )
+        # The replay rolled no dice at all.
+        assert replayed.extras["drop_log"] == []
+        assert replayed.extras["straggler_log"] == []
+        # Replay dispatches only the on-time cohort, so it never pays
+        # for a dropped or late client's traffic.
+        assert (
+            replay_env.tracker.total_uploaded <= env.tracker.total_uploaded
+        )
+        assert (
+            replay_env.tracker.total_downloaded
+            <= env.tracker.total_downloaded
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        participation=st.dictionaries(
+            st.integers(min_value=1, max_value=6),  # round
+            st.sets(st.integers(min_value=0, max_value=7), min_size=1),
+            max_size=6,
+        ),
+        data=st.data(),
+    )
+    def test_capture_arithmetic_round_trips(
+        self, trace_env_factory, participation, data
+    ):
+        """realized = participation minus drops minus deadline misses,
+        for arbitrary logs — and the capture survives a JSON round
+        trip."""
+        from repro.fl.rounds import RoundEngine, ScenarioConfig
+
+        engine = RoundEngine(trace_env_factory(), ScenarioConfig())
+        engine.participation_log = [
+            (r, sorted(ids)) for r, ids in sorted(participation.items())
+        ]
+        removed: dict[int, set[int]] = {}
+        for log_name in ("drop_log", "straggler_log"):
+            log = []
+            for r, ids in participation.items():
+                gone = data.draw(st.sets(st.sampled_from(sorted(ids))))
+                if gone:
+                    log.append((r, sorted(gone)))
+                    for cid in gone:
+                        removed.setdefault(cid, set()).add(r)
+            setattr(engine, log_name, log)
+        trace = engine.realized_trace()
+        assert trace.clients == frozenset(range(8))
+        for cid in range(8):
+            expected = {
+                r for r, ids in participation.items() if cid in ids
+            } - removed.get(cid, set())
+            assert trace.rounds_for(cid) == frozenset(expected)
+        assert AvailabilityTrace.from_dict(
+            json.loads(json.dumps(trace.to_dict()))
+        ) == trace

@@ -450,3 +450,88 @@ class TestTableOneParity:
         )
         np.testing.assert_array_equal(serial_acc, batched_acc)
         assert serial_mean == batched_mean
+
+
+# ----------------------------------------------------------------------
+# Budget-aware factored routing (regression: cohort-max rank forced
+# budgeted cohorts dense)
+# ----------------------------------------------------------------------
+class TestBudgetAwareFactoredRouting:
+    _CFG = TrainConfig(local_epochs=4, batch_size=32, lr=0.05, momentum=0.9)
+
+    def test_mean_step_rank_replaces_cohort_max(self, mlp_env_factory):
+        env = mlp_env_factory(self._CFG, hidden=(128,))
+        model = env.scratch_model
+        # Unbudgeted 16-step cohort: rank 16 x 32 = 512 > 128 -> dense.
+        assert select_factored_keys(model, 6, 16, 32) == frozenset()
+        # Every member budgeted to (1, 2) steps: the effective rank is
+        # the mean (<= 2 x 32 = 64 < 128), not the lockstep length.
+        keys = select_factored_keys(
+            model, 6, 16, 32, step_counts=[1, 2, 1, 2, 1, 2]
+        )
+        assert "fc1.weight" in keys
+        assert "classifier.weight" not in keys
+
+    def test_one_unbudgeted_client_no_longer_forces_dense(
+        self, mlp_env_factory
+    ):
+        """The old cohort-max criterion let a single full-length member
+        veto factoring for everyone; the mean keeps the typical member's
+        rank in charge."""
+        env = mlp_env_factory(self._CFG, hidden=(128,))
+        # mean([1]*5 + [16]) = 3.5 -> rank 112 < 128: factored.
+        keys = select_factored_keys(
+            env.scratch_model, 6, 16, 32, step_counts=[1, 1, 1, 1, 1, 16]
+        )
+        assert "fc1.weight" in keys
+
+    def test_uniform_step_counts_leave_selection_unchanged(
+        self, mlp_env_factory
+    ):
+        env = mlp_env_factory(self._CFG, hidden=(128,))
+        for n_steps in (1, 10, 16):
+            np.testing.assert_equal(
+                select_factored_keys(env.scratch_model, 6, n_steps, 32),
+                select_factored_keys(
+                    env.scratch_model, 6, n_steps, 32, step_counts=[n_steps] * 6
+                ),
+            )
+
+    def test_step_counts_length_is_validated(self, mlp_env_factory):
+        env = mlp_env_factory(self._CFG, hidden=(128,))
+        with pytest.raises(ValueError, match="step_counts"):
+            select_factored_keys(
+                env.scratch_model, 6, 4, 32, step_counts=[1, 2]
+            )
+
+    def test_batched_budget_cohort_routes_factored(
+        self, mlp_env_factory, monkeypatch
+    ):
+        """End to end through the batched executor: a cohort whose every
+        member carries a (1, 2)-step budget must select the factored
+        representation even though the unbudgeted schedule would not."""
+        import repro.fl.train_flat as train_flat
+
+        calls = []
+        orig = train_flat.select_factored_keys
+
+        def spy(*args, **kwargs):
+            keys = orig(*args, **kwargs)
+            calls.append((keys, kwargs.get("step_counts")))
+            return keys
+
+        monkeypatch.setattr(train_flat, "select_factored_keys", spy)
+        env = mlp_env_factory(self._CFG, hidden=(128,), executor="batched")
+        vector = env.layout.pack(env.init_state())
+        tasks = [
+            UpdateTask(cid, flat=vector, max_steps=1 + cid % 2)
+            for cid in range(env.federation.n_clients)
+        ]
+        updates = env.run_updates(tasks, 1)
+        assert len(updates) == env.federation.n_clients
+        assert calls, "the batched path selects its representation"
+        keys, step_counts = calls[-1]
+        assert "fc1.weight" in keys
+        assert step_counts is not None and max(step_counts) <= 2
+        # The budget really truncated the work, not just the estimate.
+        assert all(u.n_batches <= 2 for u in updates)
