@@ -41,6 +41,14 @@ to the synchronous engine, a genuinely-async config (K = 16, bounded
 concurrency, durations U[1, 3]) is gated deterministic across fresh
 runs, and its **updates-absorbed/sec** throughput is recorded.
 
+A fifth record covers the robust-aggregation choke point (PR 7's
+server hardening): ``robust_agg = "none"`` on the non-default C = 0.2
+engine path is gated bit-identical to the inline sampled loop (the
+robust dispatch with mode "none" IS the classic weighted average, down
+to the last bit), and the wall-clock overhead of ``trimmed_mean`` over
+the plain average is recorded (no gate — trimmed mean pays an O(n log
+n) per-coordinate sort by design).
+
 Run via ``python benchmarks/bench_scenarios.py`` or ``scripts/bench.sh``.
 ``--check`` is the CI mode: the bit-identity gates plus the overhead
 gate from single best-of-N timings — no medians, no JSON written, exit
@@ -278,6 +286,56 @@ def run_async_throughput(
     }
 
 
+def _robust_run(env, n_rounds: int, fraction: float, robust_agg: str) -> np.ndarray:
+    strategy = GlobalModelRounds(env.layout.pack(env.init_state()))
+    engine = RoundEngine(
+        env, ScenarioConfig(client_fraction=fraction, robust_agg=robust_agg)
+    )
+    engine.run(strategy, n_rounds, RunHistory("bench", "synthetic", 0))
+    return strategy.vector
+
+
+def run_robust_aggregation(
+    n_clients: int = 64,
+    samples_per_client: int = 40,
+    local_epochs: int = 1,
+    n_rounds: int = 3,
+    fraction: float = 0.2,
+    reps: int = 3,
+) -> dict:
+    """The robust choke point: mode "none" bit-identity + trimmed cost.
+
+    The C = 0.2 fraction keeps the scenario off the default fast path,
+    so ``robust_weighted_average(mode="none")`` really runs at the
+    aggregation choke point — and must still match the inline sampled
+    loop exactly.
+    """
+    env = _make_env(n_clients, samples_per_client, local_epochs)
+    identical = bool(
+        np.array_equal(
+            _robust_run(env, n_rounds, fraction, "none"),
+            _baseline_run(env, n_rounds, fraction),
+        )
+    )
+    none_ms = _median_ms(
+        lambda: _robust_run(env, n_rounds, 1.0, "none"), reps=reps
+    )
+    trimmed_ms = _median_ms(
+        lambda: _robust_run(env, n_rounds, 1.0, "trimmed_mean"), reps=reps
+    )
+    return {
+        "n_clients": n_clients,
+        "n_rounds": n_rounds,
+        "client_fraction_for_gate": fraction,
+        "none_bit_identical": identical,
+        "none_ms": round(none_ms, 3),
+        "trimmed_mean_ms": round(trimmed_ms, 3),
+        "trimmed_mean_overhead_pct": round(
+            100.0 * (trimmed_ms - none_ms) / none_ms, 3
+        ),
+    }
+
+
 def run_check(n_reps: int = 3) -> int:
     """CI gate: bit-identity + the overhead gate, no timing medians.
 
@@ -309,6 +367,12 @@ def run_check(n_reps: int = 3) -> int:
     second, _ = _middleware_run(env, 3)
     if not np.array_equal(first, second):
         failures.append("middleware v2 composition is not deterministic")
+    if not np.array_equal(
+        _robust_run(env, 3, 0.2, "none"), _baseline_run(env, 3, 0.2)
+    ):
+        failures.append(
+            "robust_agg='none' diverged from the inline sampled loop"
+        )
     baseline_ms = best_ms(lambda: _baseline_run(env, 3))
     engine_ms = best_ms(lambda: _engine_run(env, 3))
     overhead_pct = 100.0 * (engine_ms - baseline_ms) / baseline_ms
@@ -321,6 +385,17 @@ def run_check(n_reps: int = 3) -> int:
             f"engine overhead {overhead_pct:.2f}% exceeds the "
             f"{OVERHEAD_GATE_PCT}% gate"
         )
+    # The robust-mode timing comes after the overhead gate for the same
+    # buffer-lifetime reason as the async gates below: trimmed-mean's
+    # cohort-sized sorted copies held across the timed loops would
+    # poison the overhead measurement.
+    trimmed_ms = best_ms(lambda: _robust_run(env, 3, 1.0, "trimmed_mean"))
+    none_ms = best_ms(lambda: _robust_run(env, 3, 1.0, "none"))
+    print(
+        f"check: robust none {none_ms:.1f} ms, trimmed_mean {trimmed_ms:.1f} "
+        f"ms ({100.0 * (trimmed_ms - none_ms) / none_ms:+.2f}% — recorded, "
+        "not gated)"
+    )
     # Async gates come after the overhead timing: an async engine's
     # retained in-flight updates are exactly the buffer-lifetime hazard
     # the headline benchmark documents, and holding them alive across
@@ -375,8 +450,9 @@ if __name__ == "__main__":
         "benchmark": (
             "round engine vs pre-engine inline loops: orchestration overhead "
             "at 64 clients (default scenario), the C=0.2 sampled scenario, "
-            "the v2 middleware stack (stale x budget x trace), and the "
-            "async (FedBuff-style) event streams"
+            "the v2 middleware stack (stale x budget x trace), the async "
+            "(FedBuff-style) event streams, and the robust-aggregation "
+            "choke point (mode-none bit-identity + trimmed-mean cost)"
         )
     }
     headline = run_engine_overhead()
@@ -384,6 +460,7 @@ if __name__ == "__main__":
     result["partial_participation_c02"] = run_partial_participation()
     result["middleware_v2"] = run_middleware_v2()
     result["async_engine"] = run_async_throughput()
+    result["robust_aggregation"] = run_robust_aggregation()
     Path(args.target).write_text(json.dumps(result, indent=2) + "\n")
     print(json.dumps(result, indent=2))
     print(f"wrote {args.target}")
@@ -395,6 +472,10 @@ if __name__ == "__main__":
         raise SystemExit("async special case diverged from the sync engine")
     if not result["async_engine"]["deterministic"]:
         raise SystemExit("async event streams are not deterministic")
+    if not result["robust_aggregation"]["none_bit_identical"]:
+        raise SystemExit(
+            "robust_agg='none' diverged from the inline sampled loop"
+        )
     if headline["overhead_pct"] >= OVERHEAD_GATE_PCT:
         raise SystemExit(
             f"engine overhead {headline['overhead_pct']}% exceeds the "

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.fl.aggregation import packed_weighted_average
 from repro.fl.client import ClientUpdate
+from repro.fl.defense import robust_weighted_average
 from repro.fl.history import RunHistory
 from repro.fl.parallel import UpdateTask
 from repro.fl.rounds import (
@@ -109,7 +110,10 @@ def survivor_mean_loss(survivors: Sequence[ClientUpdate]) -> float:
 
 
 def survivor_weighted_average(
-    env: FederatedEnv, updates: Sequence[ClientUpdate]
+    env: FederatedEnv,
+    updates: Sequence[ClientUpdate],
+    robust_agg: str = "none",
+    trim_fraction: float = 0.1,
 ) -> np.ndarray | None:
     """FedAvg rule over a round's survivors, scenario-middleware aware.
 
@@ -122,8 +126,13 @@ def survivor_weighted_average(
     provably contribute nothing; returns ``None`` when no positive
     weight remains (the caller keeps its model, as for a dark round).
 
-    Under the default scenario every weight is the sample count, so the
-    result is bit-identical to the historical
+    ``robust_agg``/``trim_fraction`` select the aggregation rule at
+    this choke point (see
+    :func:`repro.fl.defense.robust_weighted_average`); strategies
+    splat ``engine.robust_kwargs`` here so the scenario's policy
+    reaches every call site.  Under ``"none"`` — and the default
+    scenario — every weight is the sample count, so the result is
+    bit-identical to the historical
     ``packed_weighted_average(cohort, [u.n_samples ...])`` call.
     """
     if not updates:
@@ -133,9 +142,13 @@ def survivor_weighted_average(
     if not keep.any():
         return None
     if keep.all():
-        return packed_weighted_average(cohort_matrix(env, updates), weights)
+        return robust_weighted_average(
+            cohort_matrix(env, updates), weights, robust_agg, trim_fraction
+        )
     live = [u for u, k in zip(updates, keep) if k]
-    return packed_weighted_average(cohort_matrix(env, live), weights[keep])
+    return robust_weighted_average(
+        cohort_matrix(env, live), weights[keep], robust_agg, trim_fraction
+    )
 
 
 @dataclass
@@ -226,7 +239,9 @@ class GlobalModelRounds(RoundStrategy):
         # One GEMV over the stacked survivor updates; weights
         # renormalise over whoever made the deadline (plus any stale
         # arrivals, at their discounted weight).
-        new_vector = survivor_weighted_average(env, survivors)
+        new_vector = survivor_weighted_average(
+            env, survivors, **engine.robust_kwargs
+        )
         if new_vector is not None:
             self.vector = env.layout.round_trip(new_vector)
         return survivor_mean_loss(survivors)
@@ -241,6 +256,22 @@ class GlobalModelRounds(RoundStrategy):
             self.vector,
             np.zeros(env.federation.n_clients, dtype=np.int64),
         )
+
+    def checkpoint_payload(
+        self, engine: RoundEngine
+    ) -> tuple[dict, dict[str, np.ndarray]]:
+        # The vector is always a round_trip result (or the packed
+        # initial state), so the wire dtype stores it exactly.
+        wire = engine.env.layout.wire_dtype
+        return {"prox_mu": float(self.prox_mu)}, {
+            "vector": self.vector.astype(wire)
+        }
+
+    def restore_payload(
+        self, engine: RoundEngine, meta: Mapping, arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        self.vector = arrays["vector"].astype(np.float64)
+        self.prox_mu = float(meta["prox_mu"])
 
 
 class ClusteredRounds(RoundStrategy):
@@ -294,7 +325,9 @@ class ClusteredRounds(RoundStrategy):
             mine = [u for u in survivors if self.labels[u.client_id] == g]
             if not mine:
                 continue  # cluster went dark this round: keep its model
-            new_vector = survivor_weighted_average(env, mine)
+            new_vector = survivor_weighted_average(
+                env, mine, **engine.robust_kwargs
+            )
             if new_vector is None:
                 continue  # only zero-weight work arrived: keep its model
             self.matrix[g] = env.layout.round_trip(new_vector)
@@ -310,6 +343,24 @@ class ClusteredRounds(RoundStrategy):
 
     def current_n_clusters(self) -> int:
         return len(self.matrix)
+
+    def checkpoint_payload(
+        self, engine: RoundEngine
+    ) -> tuple[dict, dict[str, np.ndarray]]:
+        # Every row is a round_trip result (or a packed initial state):
+        # exact at the wire dtype.
+        wire = engine.env.layout.wire_dtype
+        return {}, {
+            "matrix": self.matrix.astype(wire),
+            "labels": self.labels.astype(np.int64),
+        }
+
+    def restore_payload(
+        self, engine: RoundEngine, meta: Mapping, arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        self.matrix = np.ascontiguousarray(arrays["matrix"], dtype=np.float64)
+        self.labels = arrays["labels"].astype(np.int64)
+        self._rebuild_members()
 
 
 # ----------------------------------------------------------------------

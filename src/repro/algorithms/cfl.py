@@ -128,7 +128,7 @@ class _CFLRounds(RoundStrategy):
                 continue
             incoming = cluster.state
             cohort = cohort_matrix(env, mine)
-            averaged = survivor_weighted_average(env, mine)
+            averaged = survivor_weighted_average(env, mine, **engine.robust_kwargs)
             new_state = (
                 incoming if averaged is None else env.layout.round_trip(averaged)
             )
@@ -311,6 +311,77 @@ class _CFLRounds(RoundStrategy):
             labels[cluster.members] = g
         assert (labels >= 0).all(), "every client must belong to a cluster"
         return labels
+
+    def checkpoint_payload(
+        self, engine: RoundEngine
+    ) -> tuple[dict, dict[str, np.ndarray]]:
+        # Cluster states are round_trip results (or the packed initial
+        # state) — exact at the wire dtype; cached deltas already live
+        # at the wire dtype, so storing them there is lossless too.
+        wire = engine.env.layout.wire_dtype
+        meta_clusters: list[dict] = []
+        cache_rows: list[np.ndarray] = []
+        for cluster in self.clusters:
+            cache_meta = []
+            for cid in sorted(cluster.delta_cache):
+                produced, row, weight = cluster.delta_cache[cid]
+                cache_meta.append(
+                    {
+                        "client_id": int(cid),
+                        "round": int(produced),
+                        "weight": float(weight),
+                    }
+                )
+                cache_rows.append(np.asarray(row, dtype=wire))
+            meta_clusters.append(
+                {
+                    "members": [int(c) for c in cluster.members],
+                    "scale0": (
+                        None if cluster.scale0 is None else float(cluster.scale0)
+                    ),
+                    "splits": [int(r) for r in cluster.history_of_splits],
+                    "cache": cache_meta,
+                }
+            )
+        n_params = engine.env.n_params
+        arrays = {
+            "states": np.stack([c.state for c in self.clusters]).astype(wire),
+            "cache_rows": (
+                np.stack(cache_rows)
+                if cache_rows
+                else np.empty((0, n_params), dtype=wire)
+            ),
+        }
+        return {"clusters": meta_clusters}, arrays
+
+    def restore_payload(
+        self, engine: RoundEngine, meta, arrays
+    ) -> None:
+        states = arrays["states"].astype(np.float64)
+        cache_rows = arrays["cache_rows"]
+        clusters: list[_Cluster] = []
+        cursor = 0
+        for g, entry in enumerate(meta["clusters"]):
+            cache: dict[int, tuple[int, np.ndarray, float]] = {}
+            for item in entry["cache"]:
+                cache[int(item["client_id"])] = (
+                    int(item["round"]),
+                    cache_rows[cursor],
+                    float(item["weight"]),
+                )
+                cursor += 1
+            clusters.append(
+                _Cluster(
+                    state=states[g],
+                    members=np.array(entry["members"], dtype=np.int64),
+                    scale0=(
+                        None if entry["scale0"] is None else float(entry["scale0"])
+                    ),
+                    history_of_splits=[int(r) for r in entry["splits"]],
+                    delta_cache=cache,
+                )
+            )
+        self.clusters = clusters
 
 
 class CFL(FLAlgorithm):

@@ -100,6 +100,7 @@ class FedAvg(FLAlgorithm):
                 "straggler_log": engine.straggler_log,
                 "stale_log": engine.stale_log,
                 "departure_log": engine.departure_log,
+                "quarantine_log": engine.quarantine_log,
                 # The schedule that actually happened (dispatches minus
                 # seeded drops/deadline misses) — replayable through
                 # ``ScenarioConfig(trace=...)``.

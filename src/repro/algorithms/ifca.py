@@ -85,7 +85,7 @@ class _IFCARounds(RoundStrategy):
             # Per-cluster FedAvg on the flat plane: row-gather + GEMV;
             # weights are staleness/budget-aware (see
             # survivor_weighted_average).
-            vector = survivor_weighted_average(env, mine)
+            vector = survivor_weighted_average(env, mine, **engine.robust_kwargs)
             if vector is not None:
                 self.states[j] = env.layout.round_trip(vector)
             losses.extend(u.mean_loss for u in mine if u.n_batches > 0)
@@ -98,6 +98,23 @@ class _IFCARounds(RoundStrategy):
 
     def current_n_clusters(self) -> int:
         return len(np.unique(self.labels))
+
+    def checkpoint_payload(
+        self, engine: RoundEngine
+    ) -> tuple[dict, dict[str, np.ndarray]]:
+        # Rows are round_trip results (or packed fresh initialisations):
+        # exact at the wire dtype.
+        wire = engine.env.layout.wire_dtype
+        return {}, {
+            "states": np.stack(self.states).astype(wire),
+            "labels": self.labels.astype(np.int64),
+        }
+
+    def restore_payload(self, engine: RoundEngine, meta, arrays) -> None:
+        self.states = [
+            row.astype(np.float64) for row in arrays["states"]
+        ]
+        self.labels = arrays["labels"].astype(np.int64)
 
 
 class IFCA(FLAlgorithm):

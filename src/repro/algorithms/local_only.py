@@ -65,6 +65,27 @@ class _LocalRounds(RoundStrategy):
     def current_n_clusters(self) -> int:
         return len(self.states)  # every client is its own island
 
+    def checkpoint_payload(
+        self, engine: RoundEngine
+    ) -> tuple[dict, dict[str, np.ndarray]]:
+        # Per-client states are trained parameter dicts at the model's
+        # own dtypes: packing is exact and the wire dtype stores the
+        # packed rows exactly.
+        layout = engine.env.layout
+        wire = layout.wire_dtype
+        return {}, {
+            "states": np.stack(
+                [layout.pack(state) for state in self.states]
+            ).astype(wire)
+        }
+
+    def restore_payload(self, engine: RoundEngine, meta, arrays) -> None:
+        layout = engine.env.layout
+        self.states = [
+            dict(layout.unpack(row.astype(np.float64)))
+            for row in arrays["states"]
+        ]
+
 
 class LocalOnly(FLAlgorithm):
     """Per-client isolated training (zero communication)."""

@@ -117,6 +117,46 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seeded per-dispatch training duration in server "
                         "steps: one int for a fixed duration, two for a "
                         "uniform [lo, hi] draw (async mode; default 1 3)")
+    p.add_argument("--corruption-rate", type=float, default=0.0,
+                   help="seeded per-(round, client) probability that a "
+                        "returned update is mangled before it reaches the "
+                        "server (fault injection; 0 disables)")
+    p.add_argument("--corruption-kinds", nargs="+", default=None,
+                   metavar="KIND",
+                   help="corruption kinds drawn per event: subset of "
+                        "nan inf sign_flip noise (default: all four)")
+    p.add_argument("--corruption-scale", type=float, default=10.0,
+                   help="std-dev multiplier for 'noise' corruption events")
+    p.add_argument("--robust-agg", default="none",
+                   choices=["none", "clip", "trimmed_mean",
+                            "coordinate_median"],
+                   help="robust aggregation rule at the server's averaging "
+                        "choke point ('none' keeps the exact classic "
+                        "weighted average)")
+    p.add_argument("--norm-bound", type=float, default=None, metavar="B",
+                   help="admission guard: quarantine updates whose norm "
+                        "exceeds B x the batch median norm (finiteness is "
+                        "always checked; default: no norm bound)")
+    p.add_argument("--min-survivors", type=int, default=0, metavar="Q",
+                   help="survivor quorum: redispatch the failed remainder "
+                        "(up to --max-retries fresh seeded epochs) until Q "
+                        "admitted updates arrive; below quorum the round "
+                        "degrades gracefully with frozen server state")
+    p.add_argument("--max-retries", type=int, default=0, metavar="R",
+                   help="retry attempts per round when below the "
+                        "--min-survivors quorum")
+    p.add_argument("--checkpoint", default=None, metavar="DIR",
+                   help="write a resumable server checkpoint to DIR after "
+                        "each round (server rows at wire dtype, rng "
+                        "derivation state, stale/in-flight buffers, "
+                        "history, traffic counters)")
+    p.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                   help="checkpoint cadence in rounds (default: every "
+                        "round; the final round is always written)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the checkpoint in --checkpoint DIR if "
+                        "one exists (bit-identical to the uninterrupted "
+                        "run); missing file starts fresh")
     return parser
 
 
@@ -212,6 +252,7 @@ def _cmd_run(args: argparse.Namespace) -> dict:
     from repro.algorithms.registry import make_algorithm
     from repro.data.federation import build_federation
     from repro.experiments.presets import algorithm_kwargs, get_scale
+    from repro.fl.defense import CheckpointConfig, CorruptionConfig
     from repro.fl.parallel import make_executor
     from repro.fl.rounds import AsyncConfig, ScenarioConfig
     from repro.fl.simulation import FederatedEnv
@@ -243,6 +284,26 @@ def _cmd_run(args: argparse.Namespace) -> dict:
             "--async-concurrency/--async-duration need --async-buffer K "
             "(they configure the async engine)"
         )
+    corruption = None
+    if args.corruption_rate > 0.0:
+        kwargs = {"rate": args.corruption_rate, "scale": args.corruption_scale}
+        if args.corruption_kinds:
+            kwargs["kinds"] = tuple(args.corruption_kinds)
+        corruption = CorruptionConfig(**kwargs)
+    elif args.corruption_kinds:
+        raise SystemExit(
+            "--corruption-kinds needs --corruption-rate > 0 "
+            "(it configures fault injection)"
+        )
+    checkpoint = None
+    if args.checkpoint is not None:
+        checkpoint = CheckpointConfig(
+            directory=args.checkpoint,
+            every=args.checkpoint_every,
+            resume=args.resume,
+        )
+    elif args.resume:
+        raise SystemExit("--resume needs --checkpoint DIR")
     # Scenario policy composes with every algorithm through the round
     # engine — not just FedAvg's constructor fraction.
     scenario = ScenarioConfig(
@@ -253,6 +314,12 @@ def _cmd_run(args: argparse.Namespace) -> dict:
         compute_budget=budget,
         trace=AvailabilityTrace.load(args.trace) if args.trace else None,
         async_config=async_config,
+        corruption=corruption,
+        robust_agg=args.robust_agg,
+        norm_bound=args.norm_bound,
+        min_survivors=args.min_survivors,
+        max_retries=args.max_retries,
+        checkpoint=checkpoint,
     )
     n_clients = args.clients or scale.n_clients
     n_rounds = args.rounds or scale.n_rounds
@@ -309,6 +376,23 @@ def _cmd_run(args: argparse.Namespace) -> dict:
                 if async_config
                 else None
             ),
+            "defense": {
+                "corruption": (
+                    {
+                        "rate": corruption.rate,
+                        "kinds": list(corruption.kinds),
+                        "scale": corruption.scale,
+                    }
+                    if corruption
+                    else None
+                ),
+                "robust_agg": args.robust_agg,
+                "norm_bound": args.norm_bound,
+                "min_survivors": args.min_survivors,
+                "max_retries": args.max_retries,
+                "checkpoint": args.checkpoint,
+                "resumed": bool(args.resume),
+            },
         },
         "history": result.history.to_dict(),
     }

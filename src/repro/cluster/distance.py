@@ -124,8 +124,23 @@ def square_from_condensed(condensed: np.ndarray, n: int) -> np.ndarray:
 
 
 def validate_distance_matrix(d: np.ndarray, atol: float = 1e-8) -> np.ndarray:
-    """Require a symmetric non-negative square matrix with zero diagonal."""
+    """Require a finite symmetric non-negative square matrix, zero diagonal.
+
+    Finiteness comes first and fails loudly naming the offending pair:
+    a NaN/Inf distance means an upstream weight vector was already
+    corrupt (e.g. a poisoned update that slipped past admission), and
+    letting it reach the linkage merge loop would silently skew — or
+    stall — the dendrogram instead of surfacing the real fault.
+    """
     d = np.asarray(check_square_matrix("distance matrix", d), dtype=np.float64)
+    finite = np.isfinite(d)
+    if not finite.all():
+        i, j = np.argwhere(~finite)[0]
+        raise ValueError(
+            f"distance matrix has a non-finite entry d[{i}, {j}] = {d[i, j]} "
+            "(first offender); upstream weight vectors are corrupt — "
+            "check the admission/quarantine pipeline before clustering"
+        )
     if np.any(d < -atol):
         raise ValueError("distance matrix has negative entries")
     if not np.allclose(d, d.T, atol=atol):

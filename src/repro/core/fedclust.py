@@ -224,6 +224,12 @@ class _FedClustRounds(ClusteredRounds):
     initial model, upload the partial-weight signature, match against
     the responders' weight matrix — and is re-routed from its fallback
     cluster *before* it first participates.
+
+    Checkpointing rides on :class:`ClusteredRounds`' hooks (cluster
+    matrix + labels).  The ``onboarded`` diagnostic dict is *not*
+    serialised: a resumed run re-derives labels from the checkpoint,
+    so ``RunResult.extras["onboarded"]`` only covers arrivals after
+    the resume point.
     """
 
     name = "fedclust"
@@ -302,40 +308,36 @@ class FedClust(FLAlgorithm):
         init = env.init_state()
         selection = resolve_selection_keys(env.scratch_model, self.config.weight_selection)
 
-        # ①–② broadcast + local warm-up, with straggler retries.  Executors
-        # and scenarios that never fail respond fully on the first attempt,
-        # so the retry loop is free in the common path.
+        # ①–② broadcast + local warm-up, with straggler retries through the
+        # engine's shared retry primitive (the seeded-epoch derivation this
+        # loop pioneered now lives in RoundEngine.dispatch_with_retry).
+        # Executors and scenarios that never fail respond fully on the
+        # first attempt, so the retry loop is free in the common path.
         original = env.train_cfg
         warmup_cfg = self.config.warmup_train_cfg(original)
-        updates_by_client: dict[int, object] = {}
         absent = sorted(int(c) for c in absent)
-        pending = [cid for cid in range(m) if cid not in set(absent)]
+        targets = [cid for cid in range(m) if cid not in set(absent)]
         # Broadcast payload: the packed init row (shared by every task,
         # so executors encode it once); no dict ships.
         init_vector = env.layout.pack(init)
-        for attempt in range(self.config.max_clustering_attempts):
-            if not pending:
-                break
-            tasks = [UpdateTask(cid, flat=init_vector) for cid in pending]
-            # Distinct rng epoch per retry so failure draws are fresh.
-            attempt_round = round_index + 1_000_000 * attempt
-            # Upload accounting stays with us: the clustering upload is
-            # the partial-weight slice, not the full model (step ③).
-            if warmup_cfg is not original:
-                env.train_cfg = warmup_cfg
-                try:
-                    got = engine.dispatch(
-                        tasks, attempt_round, phase="clustering", charge_upload=False
-                    ).survivors
-                finally:
-                    env.train_cfg = original
-            else:
-                got = engine.dispatch(
-                    tasks, attempt_round, phase="clustering", charge_upload=False
-                ).survivors
-            for update in got:
-                updates_by_client[update.client_id] = update
-            pending = [cid for cid in pending if cid not in updates_by_client]
+
+        def warmup_tasks(pending: list[int]) -> list[UpdateTask]:
+            return [UpdateTask(cid, flat=init_vector) for cid in pending]
+
+        # Upload accounting stays with us: the clustering upload is the
+        # partial-weight slice, not the full model (step ③).
+        env.train_cfg = warmup_cfg
+        try:
+            updates_by_client, pending = engine.dispatch_with_retry(
+                warmup_tasks,
+                targets,
+                round_index,
+                self.config.max_clustering_attempts,
+                phase="clustering",
+                charge_upload=False,
+            )
+        finally:
+            env.train_cfg = original
         stragglers = sorted(pending)
         responders = np.array(sorted(updates_by_client), dtype=np.int64)
         if responders.size < 2:

@@ -23,6 +23,18 @@ from repro.fl.communication import (
     params_in_state,
 )
 from repro.fl.config import TrainConfig
+from repro.fl.defense import (
+    CORRUPTION_KINDS,
+    ROBUST_AGG_MODES,
+    CheckpointConfig,
+    CheckpointError,
+    CorruptionConfig,
+    admit_updates,
+    load_checkpoint,
+    maybe_corrupt,
+    robust_weighted_average,
+    save_checkpoint,
+)
 from repro.fl.eval_flat import (
     CohortEval,
     evaluate_grouped,
@@ -73,6 +85,16 @@ __all__ = [
     "params_in_layout",
     "params_in_state",
     "TrainConfig",
+    "CORRUPTION_KINDS",
+    "ROBUST_AGG_MODES",
+    "CheckpointConfig",
+    "CheckpointError",
+    "CorruptionConfig",
+    "admit_updates",
+    "load_checkpoint",
+    "maybe_corrupt",
+    "robust_weighted_average",
+    "save_checkpoint",
     "CohortEval",
     "evaluate_grouped",
     "evaluate_packed",

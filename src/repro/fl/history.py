@@ -29,6 +29,14 @@ class RoundRecord:
     model, and how many arrived updates remain buffered afterwards.
     Synchronous rounds aggregate every step with an empty buffer, which
     the defaults encode.
+
+    ``n_quarantined`` counts updates the admission pipeline rejected
+    this round (non-finite or norm-exploded rows; the reason codes live
+    in the engine's ``quarantine_log``).  ``quorum_failed`` marks a
+    synchronous round that stayed below the scenario's
+    ``min_survivors`` quorum after all retries: the server froze its
+    state and logged a NaN loss instead of aggregating a cohort too
+    small to trust.
     """
 
     round_index: int
@@ -42,7 +50,9 @@ class RoundRecord:
     n_stale: int = 0
     n_departed: int = 0
     n_buffered: int = 0
+    n_quarantined: int = 0
     aggregation_event: bool = True
+    quorum_failed: bool = False
     evaluated: bool = True
 
 
@@ -113,6 +123,11 @@ class RunHistory:
         """Departures per round (all zeros without departure events)."""
         return np.array([r.n_departed for r in self.records], dtype=np.int64)
 
+    def quarantine_curve(self) -> np.ndarray:
+        """Quarantined updates per round (all zeros without admission
+        rejects)."""
+        return np.array([r.n_quarantined for r in self.records], dtype=np.int64)
+
     def rounds_to_accuracy(self, target: float) -> int | None:
         """First 1-based round reaching ``target`` accuracy, or ``None``."""
         for record in self.records:
@@ -142,6 +157,10 @@ class RunHistory:
             "comm_curve": self.comm_curve().tolist(),
             "n_stale_total": int(self.stale_curve().sum()),
             "n_departed_total": int(self.departure_curve().sum()),
+            "n_quarantined_total": int(self.quarantine_curve().sum()),
+            "quorum_failed_rounds": [
+                r.round_index for r in self.records if r.quorum_failed
+            ],
             "evaluated_rounds": [
                 r.round_index for r in self.records if r.evaluated
             ],

@@ -157,6 +157,42 @@ class InFlightBuffer:
         """Clients currently mid-training (never re-dispatched)."""
         return frozenset(update.client_id for *_, update in self._pending)
 
+    def snapshot(self) -> list[tuple[int, int, int, ClientUpdate]]:
+        """The pending entries, for checkpoint serialisation.
+
+        Each entry is ``(delivery round, dispatch sequence, dispatch
+        round, update)`` in insertion order.  Pair with
+        :attr:`next_seq` — the sequence counter must survive a restore,
+        or post-resume dispatches would collide with buffered ones and
+        break the deterministic delivery order.
+        """
+        return list(self._pending)
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next dispatched update will get."""
+        return self._seq
+
+    def restore(
+        self,
+        entries: Sequence[tuple[int, int, int, ClientUpdate]],
+        next_seq: int,
+    ) -> None:
+        """Inverse of :meth:`snapshot` (checkpoint resume)."""
+        entries = [
+            (int(done), int(seq), int(dispatch_round), update)
+            for done, seq, dispatch_round, update in entries
+        ]
+        next_seq = int(next_seq)
+        top = max((seq for _, seq, _, _ in entries), default=-1)
+        if next_seq <= top:
+            raise ValueError(
+                f"next_seq {next_seq} collides with a restored entry "
+                f"(highest buffered sequence: {top})"
+            )
+        self._pending = entries
+        self._seq = next_seq
+
     def __len__(self) -> int:
         return len(self._pending)
 

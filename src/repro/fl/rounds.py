@@ -66,7 +66,37 @@ never on the executor or the payload format:
   from the CLI via ``--trace``) that subsumes arrivals, departures and
   recorded blackout rounds.  Traces compose with the other knobs by
   intersection; a trace absence charges no traffic (the client was
-  never contacted — unlike a failure, which consumed the broadcast).
+  never contacted — unlike a failure, which consumed the broadcast);
+* **corruption** — seeded per-(dispatch round, client) events on their
+  own stream (:data:`repro.fl.defense.CORRUPTION_TAG`) that mangle the
+  *returned* update row (NaN/Inf poisoning, sign flips, scaled noise).
+  The event acts on the update list at the executor boundary, so every
+  executor kind and the async in-flight path see identical corruption;
+* **admission + robust aggregation** — before aggregation every
+  survivor row passes a finiteness guard (always on) and an optional
+  norm-bound guard; rejects land in ``engine.quarantine_log`` with
+  reason codes, keep their upload charge (the bytes crossed the
+  network), and are excluded from weight renormalisation.
+  ``robust_agg`` swaps the plain weighted average at the shared choke
+  point (:func:`repro.algorithms.base.survivor_weighted_average`) for
+  norm-clipping, a coordinate-wise trimmed mean, or the coordinate-wise
+  median — ``"none"`` stays byte-for-byte the historical rule;
+* **survivor quorum + retry** — ``min_survivors=q`` with
+  ``max_retries=r`` redispatches the failed/quarantined remainder on a
+  fresh seeded epoch (``round + 1_000_000 × attempt``, the retry
+  derivation FedClust's clustering round pioneered — now an engine
+  primitive, :meth:`RoundEngine.dispatch_with_retry`).  Still below
+  quorum after the retries, the round degrades gracefully: server state
+  frozen, NaN loss, ``RoundRecord.quorum_failed=True`` — never an
+  aggregate over a cohort too small to trust;
+* **checkpoint/resume** — with a
+  :class:`repro.fl.defense.CheckpointConfig` on the scenario the engine
+  writes a versioned single-file checkpoint on a round cadence (server
+  rows at wire dtype, round counter, buffers, logs, traffic, history)
+  and can resume from it; a resumed run reproduces the uninterrupted
+  one bit-identically because all middleware randomness is stateless in
+  (seed, round, client) — the file only needs the round counter, never
+  a generator state.
 
 At least one participant always survives a *dispatched* round (a round
 whose whole cohort fails or misses the deadline would deadlock
@@ -90,12 +120,26 @@ from __future__ import annotations
 
 import abc
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
 from repro.fl.client import ClientUpdate
+from repro.fl.defense import (
+    CORRUPTION_TAG,
+    ROBUST_AGG_MODES,
+    CheckpointConfig,
+    CheckpointError,
+    CorruptionConfig,
+    admit_updates,
+    load_checkpoint,
+    maybe_corrupt,
+    rebuild_update,
+    save_checkpoint,
+    update_row,
+    update_to_meta,
+)
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.parallel import InFlightBuffer, UpdateTask
 from repro.fl.sampling import sample_from, uniform_sample
@@ -104,6 +148,9 @@ from repro.utils.rng import rng_for
 from repro.utils.validation import check_fraction, check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Callable
+    from pathlib import Path
+
     from repro.fl.simulation import FederatedEnv
 
 __all__ = [
@@ -111,8 +158,12 @@ __all__ = [
     "STRAGGLER_TAG",
     "BUDGET_TAG",
     "DURATION_TAG",
+    "CORRUPTION_TAG",
     "AsyncConfig",
     "ScenarioConfig",
+    "CorruptionConfig",
+    "CheckpointConfig",
+    "CheckpointError",
     "DispatchOutcome",
     "RoundOutcome",
     "RoundStrategy",
@@ -298,6 +349,45 @@ class ScenarioConfig:
         concept; model latency via ``duration_range`` instead.  All
         other middleware (participation, failures, budgets, arrivals,
         departures, traces) composes unchanged.
+    corruption:
+        ``None`` (default) returns every update pristine.  A
+        :class:`repro.fl.defense.CorruptionConfig` draws seeded
+        per-(dispatch round, client) corruption events that mangle the
+        returned update row (NaN/Inf poisoning, sign flip, scaled
+        noise) before it reaches admission — the fault-injection dual
+        of the admission/robust-aggregation defenses below.
+    robust_agg:
+        Aggregation rule at the shared choke point: one of
+        ``("none", "clip", "trimmed_mean", "coordinate_median")``.
+        ``"none"`` (default) is byte-for-byte the historical weighted
+        average; see :func:`repro.fl.defense.robust_weighted_average`.
+    trim_fraction:
+        Per-side trim for ``robust_agg="trimmed_mean"`` (inert under
+        any other mode).
+    norm_bound:
+        ``None`` (default) admits any finite update.  A positive factor
+        quarantines rows whose L2 norm exceeds ``norm_bound ×`` the
+        median norm of their dispatch batch (reason code
+        ``"norm_bound"``).  Non-finite rows are always quarantined
+        (reason code ``"non_finite"``), bound or no bound.
+    min_survivors:
+        Quorum: the minimum admitted on-time survivors a synchronous
+        round needs before aggregating.  ``0`` (default) keeps the
+        historical behaviour (any survivor folds).  Below quorum the
+        engine retries the failed/quarantined remainder up to
+        ``max_retries`` times on fresh seeded epochs; still short, the
+        round freezes state and records ``quorum_failed``.  Async runs
+        must leave this at 0 — ``AsyncConfig.buffer_size`` *is* the
+        async quorum.
+    max_retries:
+        Redispatch attempts per round while below ``min_survivors``.
+    checkpoint:
+        ``None`` (default) never touches disk.  A
+        :class:`repro.fl.defense.CheckpointConfig` (or a bare
+        directory, coerced) makes the engine write a resumable
+        checkpoint file every ``every`` rounds; with ``resume=True``
+        :meth:`RoundEngine.run` restores from an existing file before
+        its first round.
     """
 
     client_fraction: float = 1.0
@@ -310,6 +400,13 @@ class ScenarioConfig:
     departures: Mapping[int, int] | None = None
     trace: AvailabilityTrace | Mapping | None = None
     async_config: AsyncConfig | None = None
+    corruption: CorruptionConfig | None = None
+    robust_agg: str = "none"
+    trim_fraction: float = 0.1
+    norm_bound: float | None = None
+    min_survivors: int = 0
+    max_retries: int = 0
+    checkpoint: CheckpointConfig | None = None
 
     def __post_init__(self) -> None:
         check_fraction("client_fraction", self.client_fraction)
@@ -363,6 +460,41 @@ class ScenarioConfig:
                 "to miss; model client latency via "
                 "AsyncConfig.duration_range instead"
             )
+        if self.robust_agg not in ROBUST_AGG_MODES:
+            raise ValueError(
+                f"unknown robust_agg {self.robust_agg!r}; "
+                f"options: {ROBUST_AGG_MODES}"
+            )
+        if not 0.0 < self.trim_fraction < 0.5:
+            raise ValueError(
+                f"trim_fraction must be in (0, 0.5), got {self.trim_fraction!r}"
+            )
+        if self.norm_bound is not None:
+            check_positive("norm_bound", self.norm_bound)
+        if self.min_survivors < 0:
+            raise ValueError(
+                f"min_survivors must be >= 0, got {self.min_survivors!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries!r}"
+            )
+        if self.async_config is not None and (
+            self.min_survivors > 0 or self.max_retries > 0
+        ):
+            raise ValueError(
+                "min_survivors/max_retries compose only with the "
+                "synchronous engine — the async aggregation trigger "
+                "(AsyncConfig.buffer_size) already is a survivor quorum, "
+                "and lateness has no deadline to retry against"
+            )
+        if self.checkpoint is not None and not isinstance(
+            self.checkpoint, CheckpointConfig
+        ):
+            # A bare directory is the common CLI shape.
+            object.__setattr__(
+                self, "checkpoint", CheckpointConfig(directory=self.checkpoint)
+            )
 
     @property
     def is_default(self) -> bool:
@@ -377,6 +509,11 @@ class ScenarioConfig:
             and not self.departures
             and self.trace is None
             and self.async_config is None
+            and (self.corruption is None or self.corruption.rate == 0.0)
+            and self.robust_agg == "none"
+            and self.norm_bound is None
+            and self.min_survivors == 0
+            and self.checkpoint is None
         )
 
     def validate_for(self, n_clients: int) -> None:
@@ -407,12 +544,16 @@ class DispatchOutcome:
     ``late`` holds the straggler updates themselves — populated only
     when stale folding is on (the default path must not keep dead
     updates alive across the next round's cohort allocation).
+    ``quarantined`` holds the admission rejects as ``(client id,
+    reason)`` pairs; the same pairs are appended to the engine's
+    ``quarantine_log``.
     """
 
     survivors: list[ClientUpdate]
     failed: np.ndarray
     stragglers: np.ndarray
     late: list[ClientUpdate] = field(default_factory=list)
+    quarantined: list[tuple[int, str]] = field(default_factory=list)
 
 
 @dataclass
@@ -502,6 +643,33 @@ class RoundStrategy(abc.ABC):
     def on_round_end(self, engine: "RoundEngine", outcome: RoundOutcome) -> None:
         """Post-round notification (after history logging)."""
 
+    def checkpoint_payload(
+        self, engine: "RoundEngine"
+    ) -> tuple[dict, dict[str, np.ndarray]]:
+        """Serialise the strategy's server state for a checkpoint.
+
+        Returns ``(meta, arrays)``: JSON-ready scalars plus named numpy
+        arrays.  Server model rows must be stored at the layout's wire
+        dtype (``engine.env.layout.wire_dtype``) — every post-aggregate
+        row is a ``round_trip`` result, so the narrow dtype round-trips
+        it exactly and the file stays small.  The default refuses
+        loudly: checkpointing a strategy that cannot rebuild its state
+        would resume from garbage.
+        """
+        raise NotImplementedError(
+            f"strategy {self.name!r} does not support checkpointing — "
+            "it implements no checkpoint_payload()/restore_payload()"
+        )
+
+    def restore_payload(
+        self, engine: "RoundEngine", meta: Mapping, arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        """Inverse of :meth:`checkpoint_payload`."""
+        raise NotImplementedError(
+            f"strategy {self.name!r} does not support checkpointing — "
+            "it implements no checkpoint_payload()/restore_payload()"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
 
@@ -530,6 +698,12 @@ class RoundEngine:
                 f"scenario min_clients ({self.scenario.min_clients}) exceeds "
                 f"the federation size ({env.federation.n_clients})"
             )
+        if self.scenario.min_survivors > env.federation.n_clients:
+            raise ValueError(
+                f"scenario min_survivors ({self.scenario.min_survivors}) "
+                f"exceeds the federation size ({env.federation.n_clients}) "
+                "— the quorum could never be met"
+            )
         self.scenario.validate_for(env.federation.n_clients)
         #: (round, dropped client ids) — failure middleware log.
         self.drop_log: list[tuple[int, list[int]]] = []
@@ -544,6 +718,15 @@ class RoundEngine:
         #: Together with drop/straggler logs this is the realized
         #: schedule (:meth:`realized_trace`).
         self.participation_log: list[tuple[int, list[int]]] = []
+        #: (round, [(client id, reason), ...]) — admission rejects.
+        #: Reasons are the :mod:`repro.fl.defense` codes
+        #: (``"non_finite"``, ``"norm_bound"``).  Retry dispatches log
+        #: under their derived epoch (``round + 1_000_000 × attempt``),
+        #: like the drop log.
+        self.quarantine_log: list[tuple[int, list[tuple[int, str]]]] = []
+        #: Admission rejects observed in the round currently running
+        #: (feeds ``RoundRecord.n_quarantined``; reset per round).
+        self._quarantined_this_round = 0
         #: client id → (round produced, late update) awaiting folding.
         self._stale_buffer: dict[int, tuple[int, ClientUpdate]] = {}
         #: Async mode: dispatched-but-undelivered work (durations drawn
@@ -555,11 +738,54 @@ class RoundEngine:
         #: Async throughput counters (updates-absorbed/sec benchmark).
         self.n_aggregation_events = 0
         self.n_updates_absorbed = 0
+        #: Run-state stash so ``engine.checkpoint(path)`` works without
+        #: arguments mid-run (e.g. from an ``on_round_end`` hook).
+        self._run_strategy: RoundStrategy | None = None
+        self._run_history: RunHistory | None = None
+        self._next_round = 1
+        self._last_eval: tuple[float, np.ndarray] = (
+            float("nan"),
+            np.full(env.federation.n_clients, np.nan),
+        )
 
     @property
     def is_async(self) -> bool:
         """True when the scenario runs the event-stream (FedBuff) loop."""
         return self.scenario.async_config is not None
+
+    @property
+    def admission_active(self) -> bool:
+        """True when updates pass the admission scan before aggregation.
+
+        Admission guards are armed by any hardening knob — corruption
+        injection (the scenario *creates* non-finite rows), a norm
+        bound, a robust aggregation rule, or a survivor quorum.  The
+        default scenario skips the scan: a full-cohort finiteness pass
+        reads the whole ``(cohort, n_params)`` plane every round
+        (~27 ms at 64 × 395k), which is pure overhead on the
+        bit-identical fast path the engine-overhead gate pins.
+        """
+        s = self.scenario
+        return (
+            (s.corruption is not None and s.corruption.rate > 0.0)
+            or s.norm_bound is not None
+            or s.robust_agg != "none"
+            or s.min_survivors > 0
+        )
+
+    @property
+    def robust_kwargs(self) -> dict:
+        """Keyword arguments carrying the scenario's aggregation rule.
+
+        Strategies splat this into every
+        :func:`repro.algorithms.base.survivor_weighted_average` call so
+        the robust-aggregation policy reaches all choke-point call
+        sites without each strategy growing its own plumbing.
+        """
+        return {
+            "robust_agg": self.scenario.robust_agg,
+            "trim_fraction": self.scenario.trim_fraction,
+        }
 
     # ------------------------------------------------------------------
     # Scenario middleware
@@ -751,6 +977,15 @@ class RoundEngine:
         uploaded too, just late).  ``charge_upload=False`` lets callers
         with partial-weight uploads (FedClust's clustering round)
         account the upload themselves.
+
+        Corruption events fire on the returned updates (after the
+        upload charge — the corrupted bytes crossed the network), then
+        — when any hardening knob arms :attr:`admission_active` —
+        every update passes admission before the straggler split:
+        quarantined clients are neither survivors nor stale candidates,
+        and a quarantined straggler never reaches the stale buffer.
+        Because admission runs here, the downstream buffers (stale,
+        async in-flight delivery aside) only ever hold admitted rows.
         """
         env = self.env
         phase = self.phase if phase is None else phase
@@ -759,6 +994,7 @@ class RoundEngine:
         alive, failed_ids = self._apply_failures(tasks, round_index)
         self._apply_budgets(alive, round_index)
         updates = env.run_updates(alive, round_index)
+        updates = self._apply_corruption(updates, round_index)
         if charge_upload and updates:
             env.tracker.record_upload(env.n_params * len(updates), phase)
         if self.scenario.compute_budget is not None:
@@ -767,6 +1003,7 @@ class RoundEngine:
             # computed and a zero-step client counts for nothing.
             for update in updates:
                 update.weight = float(update.n_batches)
+        updates, quarantined = self._admit(updates, round_index)
         survivors, late = self._apply_stragglers(updates, round_index)
         straggler_ids = sorted(u.client_id for u in late)
         if failed_ids:
@@ -781,7 +1018,79 @@ class RoundEngine:
             # them — otherwise they must die here (buffer-lifetime
             # hygiene: dead cohort-sized buffers cost page faults).
             late=late if self.scenario.staleness_decay > 0.0 else [],
+            quarantined=quarantined,
         )
+
+    def _apply_corruption(
+        self, updates: list[ClientUpdate], round_index: int
+    ) -> list[ClientUpdate]:
+        """Corruption middleware: seeded per-(round, client) mangling."""
+        corruption = self.scenario.corruption
+        if corruption is None or corruption.rate <= 0.0 or not updates:
+            return updates
+        env = self.env
+        return [
+            maybe_corrupt(u, env.seed, round_index, corruption, env.layout)
+            for u in updates
+        ]
+
+    def _admit(
+        self, updates: list[ClientUpdate], round_index: int
+    ) -> tuple[list[ClientUpdate], list[tuple[int, str]]]:
+        """Admission middleware: quarantine rows the server won't fold."""
+        if not self.admission_active:
+            return updates, []
+        admitted, rejected = admit_updates(
+            updates, self.env.layout, self.scenario.norm_bound
+        )
+        if rejected:
+            self.quarantine_log.append((round_index, rejected))
+            self._quarantined_this_round += len(rejected)
+        return admitted, rejected
+
+    def dispatch_with_retry(
+        self,
+        make_tasks: "Callable[[list[int]], list[UpdateTask]]",
+        targets: Sequence[int],
+        round_index: int,
+        max_attempts: int,
+        phase: str | None = None,
+        charge_download: bool = True,
+        charge_upload: bool = True,
+    ) -> tuple[dict[int, ClientUpdate], list[int]]:
+        """Dispatch ``targets`` with up to ``max_attempts`` seeded epochs.
+
+        The retry derivation FedClust's clustering round pioneered, as
+        an engine primitive: attempt ``a`` dispatches the still-pending
+        clients at epoch ``round_index + 1_000_000 × a``, so every
+        attempt rolls fresh failure/straggler/budget/corruption dice on
+        the stateless streams without colliding with any real round.
+        ``make_tasks`` receives the pending client ids (in their
+        original ``targets`` order) and builds the attempt's task list.
+
+        Returns ``(collected, pending)``: one admitted update per
+        responding client (first response wins) and the clients that
+        never responded within the attempt budget.  Drop/straggler/
+        quarantine events log under the derived epoch, exactly like a
+        plain :meth:`dispatch`.
+        """
+        collected: dict[int, ClientUpdate] = {}
+        pending = [int(c) for c in targets]
+        for attempt in range(max_attempts):
+            if not pending:
+                break
+            attempt_round = round_index + 1_000_000 * attempt
+            outcome = self.dispatch(
+                make_tasks(pending),
+                attempt_round,
+                phase=phase,
+                charge_download=charge_download,
+                charge_upload=charge_upload,
+            )
+            for update in outcome.survivors:
+                collected[update.client_id] = update
+            pending = [cid for cid in pending if cid not in collected]
+        return collected, pending
 
     # ------------------------------------------------------------------
     # The round lifecycle
@@ -817,9 +1126,15 @@ class RoundEngine:
         m = env.federation.n_clients
         mean_acc, per_client = float("nan"), np.full(m, np.nan)
         last_round = first_round + n_rounds - 1
+        start_round, restored = self._maybe_resume(strategy, history, first_round)
+        if restored is not None:
+            mean_acc, per_client = restored
+            if start_round > last_round:
+                return mean_acc, per_client
 
-        for round_index in range(first_round, last_round + 1):
+        for round_index in range(start_round, last_round + 1):
             t0 = time.perf_counter()
+            self._quarantined_this_round = 0
             departed = self.departures_at(round_index)
             if departed.size:
                 self.departure_log.append((round_index, departed.tolist()))
@@ -840,11 +1155,44 @@ class RoundEngine:
                 charge_download=charge,
                 charge_upload=charge,
             )
-            stale_ids = self._fold_stale(round_index, dispatched)
-            train_loss = strategy.aggregate(self, round_index, dispatched.survivors)
+            quorum = self.scenario.min_survivors
+            if (
+                quorum > 0
+                and participants.size
+                and len(dispatched.survivors) < quorum
+            ):
+                self._retry_for_quorum(
+                    strategy, round_index, participants, dispatched, charge
+                )
+            quorum_failed = bool(
+                quorum > 0
+                and participants.size
+                and len(dispatched.survivors) < quorum
+            )
+            if quorum_failed:
+                # Graceful degradation: never aggregate a cohort below
+                # quorum.  State stays frozen and buffered stale work
+                # stays buffered (it would only fold at an aggregation
+                # that is not happening), but this round's own late
+                # work is still banked for a future healthy round.
+                if self.scenario.staleness_decay > 0.0:
+                    for update in dispatched.late:
+                        self._stale_buffer[update.client_id] = (
+                            round_index,
+                            update,
+                        )
+                stale_ids: list[int] = []
+                train_loss = float("nan")
+            else:
+                stale_ids = self._fold_stale(round_index, dispatched)
+                train_loss = strategy.aggregate(
+                    self, round_index, dispatched.survivors
+                )
             evaluated = round_index == last_round or round_index % eval_every == 0
             if evaluated:
                 mean_acc, per_client = strategy.evaluate(self, round_index)
+            self._next_round = round_index + 1
+            self._last_eval = (mean_acc, per_client)
             history.append(
                 RoundRecord(
                     round_index=round_index,
@@ -857,6 +1205,8 @@ class RoundEngine:
                     wall_seconds=time.perf_counter() - t0,
                     n_stale=len(stale_ids),
                     n_departed=int(departed.size),
+                    n_quarantined=self._quarantined_this_round,
+                    quorum_failed=quorum_failed,
                     evaluated=evaluated,
                 )
             )
@@ -876,7 +1226,58 @@ class RoundEngine:
                     departed=departed,
                 ),
             )
+            self._maybe_checkpoint(round_index, last_round)
         return mean_acc, per_client
+
+    def _retry_for_quorum(
+        self,
+        strategy: RoundStrategy,
+        round_index: int,
+        participants: np.ndarray,
+        dispatched: DispatchOutcome,
+        charge: bool,
+    ) -> None:
+        """Redispatch the failed/quarantined remainder toward quorum.
+
+        Each attempt re-broadcasts (download re-charged — a retry is a
+        real network event) to the participants that have delivered
+        nothing yet — neither an admitted update nor a buffered late
+        one — on the fresh seeded epoch ``round + 1_000_000 × attempt``
+        (attempt ≥ 1; the original dispatch was attempt 0).  Responses
+        merge into ``dispatched`` in place.  Retry dispatches do not
+        join the participation log: :meth:`realized_trace` captures the
+        primary schedule, not the recovery traffic (the drop/straggler/
+        quarantine logs hold the derived epochs).
+        """
+        scenario = self.scenario
+        delivered = {u.client_id for u in dispatched.survivors}
+        delivered |= {u.client_id for u in dispatched.late}
+        for attempt in range(1, scenario.max_retries + 1):
+            if len(dispatched.survivors) >= scenario.min_survivors:
+                break
+            remainder = np.array(
+                [int(c) for c in participants if int(c) not in delivered],
+                dtype=np.int64,
+            )
+            if not remainder.size:
+                break
+            retry_round = round_index + 1_000_000 * attempt
+            tasks = strategy.broadcast_for(self, retry_round, remainder)
+            outcome = self.dispatch(
+                tasks,
+                retry_round,
+                charge_download=charge,
+                charge_upload=charge,
+            )
+            dispatched.survivors.extend(outcome.survivors)
+            dispatched.late.extend(outcome.late)
+            dispatched.quarantined.extend(outcome.quarantined)
+            dispatched.failed = np.union1d(dispatched.failed, outcome.failed)
+            dispatched.stragglers = np.union1d(
+                dispatched.stragglers, outcome.stragglers
+            )
+            delivered |= {u.client_id for u in outcome.survivors}
+            delivered |= {u.client_id for u in outcome.late}
 
     # ------------------------------------------------------------------
     # The async event-stream lifecycle (FedBuff-style)
@@ -917,9 +1318,15 @@ class RoundEngine:
         mean_acc, per_client = float("nan"), np.full(m, np.nan)
         last_round = first_round + n_rounds - 1
         budget = self.scenario.compute_budget
+        start_round, restored = self._maybe_resume(strategy, history, first_round)
+        if restored is not None:
+            mean_acc, per_client = restored
+            if start_round > last_round:
+                return mean_acc, per_client
 
-        for round_index in range(first_round, last_round + 1):
+        for round_index in range(start_round, last_round + 1):
             t0 = time.perf_counter()
+            self._quarantined_this_round = 0
             departed = self.departures_at(round_index)
             if departed.size:
                 self.departure_log.append((round_index, departed.tolist()))
@@ -950,6 +1357,12 @@ class RoundEngine:
                 self.drop_log.append((round_index, failed_ids))
             self._apply_budgets(alive, round_index)
             updates = env.run_updates(alive, round_index)
+            # Corruption fires at dispatch (keyed by the dispatch
+            # round, like the duration draw), so the in-flight buffer
+            # carries the corrupted row and admission catches it at
+            # delivery — after the upload is charged, exactly as in the
+            # synchronous path.
+            updates = self._apply_corruption(updates, round_index)
             if budget is not None:
                 for update in updates:
                     update.weight = float(update.n_batches)
@@ -969,6 +1382,21 @@ class RoundEngine:
             due = self._in_flight.collect_due(round_index)
             if charge and due:
                 env.tracker.record_upload(env.n_params * len(due), self.phase)
+            if due:
+                # Admission at delivery: the upload was charged (the
+                # bytes arrived), but a corrupted row never enters the
+                # aggregation buffer.  A client is never in flight
+                # twice, so rejected ids map back unambiguously.
+                _, rejected = self._admit(
+                    [update for _, update in due], round_index
+                )
+                if rejected:
+                    rejected_ids = {cid for cid, _ in rejected}
+                    due = [
+                        entry
+                        for entry in due
+                        if entry[1].client_id not in rejected_ids
+                    ]
             for dispatch_round, update in due:
                 # One update per client per aggregation: a newer arrival
                 # supersedes an older buffered one (the old upload was
@@ -1011,6 +1439,8 @@ class RoundEngine:
             evaluated = round_index == last_round or round_index % eval_every == 0
             if evaluated:
                 mean_acc, per_client = strategy.evaluate(self, round_index)
+            self._next_round = round_index + 1
+            self._last_eval = (mean_acc, per_client)
             history.append(
                 RoundRecord(
                     round_index=round_index,
@@ -1024,6 +1454,7 @@ class RoundEngine:
                     n_stale=len(stale_ids),
                     n_departed=int(departed.size),
                     n_buffered=len(self._async_buffer),
+                    n_quarantined=self._quarantined_this_round,
                     aggregation_event=aggregation_event,
                     evaluated=evaluated,
                 )
@@ -1044,7 +1475,263 @@ class RoundEngine:
                     departed=departed,
                 ),
             )
+            self._maybe_checkpoint(round_index, last_round)
         return mean_acc, per_client
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def _maybe_resume(
+        self, strategy: RoundStrategy, history: RunHistory, first_round: int
+    ) -> tuple[int, tuple[float, np.ndarray] | None]:
+        """Resume from the configured checkpoint file if asked and present.
+
+        Returns ``(start round, restored last-eval or None)``.  A
+        missing file is not an error: the same invocation then runs
+        from scratch, which is what a crash-restart wrapper wants.
+        """
+        self._run_strategy, self._run_history = strategy, history
+        ckpt = self.scenario.checkpoint
+        if ckpt is None or not ckpt.resume or not ckpt.path.exists():
+            return first_round, None
+        next_round, mean_acc, per_client = self.resume(
+            ckpt.path, strategy, history
+        )
+        return max(first_round, next_round), (mean_acc, per_client)
+
+    def _maybe_checkpoint(self, round_index: int, last_round: int) -> None:
+        """Write the configured checkpoint on its cadence (final round
+        always writes)."""
+        ckpt = self.scenario.checkpoint
+        if ckpt is None:
+            return
+        if round_index % ckpt.every == 0 or round_index == last_round:
+            self.checkpoint(ckpt.path)
+
+    def checkpoint(
+        self,
+        path: "str | Path | None" = None,
+        strategy: RoundStrategy | None = None,
+        history: RunHistory | None = None,
+    ) -> "Path":
+        """Write a resumable checkpoint of the whole run state.
+
+        Serialised: the strategy's server rows (at wire dtype, via its
+        :meth:`RoundStrategy.checkpoint_payload` hook), the round
+        counter, every middleware log, the communication tracker's
+        per-phase counters, the history records, the last evaluation,
+        and all three update buffers (stale, async in-flight, async
+        aggregation) — buffered update *rows* at float64, because a
+        corrupted row awaiting admission need not survive a wire-dtype
+        round-trip.  The rng "state" is just the seed and the round
+        counter: every stream is stateless in (seed, tag, round,
+        client), so resuming re-derives identical draws.
+
+        Called automatically on the :class:`CheckpointConfig` cadence
+        during :meth:`run`; callable directly mid-run (the strategy and
+        history default to the ones of the active run) or standalone
+        with explicit arguments.
+        """
+        strategy = strategy if strategy is not None else self._run_strategy
+        history = history if history is not None else self._run_history
+        if strategy is None or history is None:
+            raise ValueError(
+                "checkpoint() outside an active run needs explicit "
+                "strategy/history arguments"
+            )
+        if path is None:
+            if self.scenario.checkpoint is None:
+                raise ValueError(
+                    "checkpoint() needs a path: pass one or configure "
+                    "ScenarioConfig.checkpoint"
+                )
+            path = self.scenario.checkpoint.path
+        env = self.env
+        layout = env.layout
+        meta, strategy_arrays = strategy.checkpoint_payload(self)
+        arrays: dict[str, np.ndarray] = {
+            f"strategy/{name}": array for name, array in strategy_arrays.items()
+        }
+
+        def buffer_rows(rows: list[np.ndarray]) -> np.ndarray:
+            if rows:
+                return np.stack(rows)
+            return np.empty((0, env.n_params), dtype=np.float64)
+
+        stale_meta: list[dict] = []
+        stale_rows: list[np.ndarray] = []
+        for cid in sorted(self._stale_buffer):
+            produced, update = self._stale_buffer[cid]
+            entry = update_to_meta(update)
+            entry["produced_round"] = int(produced)
+            stale_meta.append(entry)
+            stale_rows.append(update_row(update, layout))
+        flight_meta: list[dict] = []
+        flight_rows: list[np.ndarray] = []
+        for done, seq, dispatch_round, update in self._in_flight.snapshot():
+            entry = update_to_meta(update)
+            entry.update(
+                done=int(done), seq=int(seq), dispatch_round=int(dispatch_round)
+            )
+            flight_meta.append(entry)
+            flight_rows.append(update_row(update, layout))
+        async_meta: list[dict] = []
+        async_rows: list[np.ndarray] = []
+        for dispatch_round, update in self._async_buffer:
+            entry = update_to_meta(update)
+            entry["dispatch_round"] = int(dispatch_round)
+            async_meta.append(entry)
+            async_rows.append(update_row(update, layout))
+        arrays["stale_rows"] = buffer_rows(stale_rows)
+        arrays["in_flight_rows"] = buffer_rows(flight_rows)
+        arrays["async_rows"] = buffer_rows(async_rows)
+        mean_acc, per_client = self._last_eval
+        arrays["per_client_accuracy"] = np.asarray(per_client, dtype=np.float64)
+
+        header = {
+            "seed": int(env.seed),
+            "strategy": strategy.name,
+            "n_clients": int(env.federation.n_clients),
+            "n_params": int(env.n_params),
+            "next_round": int(self._next_round),
+            "mean_accuracy": float(mean_acc),
+            "strategy_meta": meta,
+            "logs": {
+                "drop": [[r, list(ids)] for r, ids in self.drop_log],
+                "straggler": [[r, list(ids)] for r, ids in self.straggler_log],
+                "stale": [[r, list(ids)] for r, ids in self.stale_log],
+                "departure": [[r, list(ids)] for r, ids in self.departure_log],
+                "participation": [
+                    [r, list(ids)] for r, ids in self.participation_log
+                ],
+                "quarantine": [
+                    [r, [[cid, reason] for cid, reason in entries]]
+                    for r, entries in self.quarantine_log
+                ],
+            },
+            "counters": {
+                "n_aggregation_events": int(self.n_aggregation_events),
+                "n_updates_absorbed": int(self.n_updates_absorbed),
+            },
+            "traffic": {
+                "uploads": {k: int(v) for k, v in env.tracker.uploads.items()},
+                "downloads": {
+                    k: int(v) for k, v in env.tracker.downloads.items()
+                },
+            },
+            "history": {
+                "algorithm": history.algorithm,
+                "dataset": history.dataset,
+                "seed": int(history.seed),
+                "records": [asdict(record) for record in history.records],
+            },
+            "stale": stale_meta,
+            "in_flight": flight_meta,
+            "in_flight_seq": int(self._in_flight.next_seq),
+            "async": async_meta,
+        }
+        return save_checkpoint(path, header, arrays)
+
+    def resume(
+        self,
+        path: "str | Path",
+        strategy: RoundStrategy,
+        history: RunHistory,
+    ) -> tuple[int, float, np.ndarray]:
+        """Restore a checkpoint written by :meth:`checkpoint`.
+
+        Validates that the file belongs to this run (seed, strategy
+        name, federation size, parameter count — a mismatch raises
+        :class:`repro.fl.defense.CheckpointError` quoting expected vs
+        found), then restores the strategy state, engine logs and
+        buffers, tracker counters and history records **in place** and
+        returns ``(next round, last mean accuracy, last per-client
+        accuracies)``.  ``history.records`` is replaced wholesale, so a
+        caller that pre-seeded records (FedClust re-runs its round-1
+        clustering deterministically before resuming) converges on the
+        checkpointed truth.
+        """
+        header, arrays = load_checkpoint(path)
+        env = self.env
+        expectations = (
+            ("seed", int(env.seed)),
+            ("strategy", strategy.name),
+            ("n_clients", int(env.federation.n_clients)),
+            ("n_params", int(env.n_params)),
+        )
+        for key, want in expectations:
+            found = header.get(key)
+            if found != want:
+                raise CheckpointError(
+                    f"checkpoint {key} mismatch in {path}: this run expects "
+                    f"{want!r}, the file holds {found!r}"
+                )
+        strategy.restore_payload(
+            self,
+            header.get("strategy_meta", {}),
+            {
+                name.split("/", 1)[1]: array
+                for name, array in arrays.items()
+                if name.startswith("strategy/")
+            },
+        )
+        logs = header["logs"]
+
+        def id_log(entries: list) -> list[tuple[int, list[int]]]:
+            return [(int(r), [int(c) for c in ids]) for r, ids in entries]
+
+        self.drop_log[:] = id_log(logs["drop"])
+        self.straggler_log[:] = id_log(logs["straggler"])
+        self.stale_log[:] = id_log(logs["stale"])
+        self.departure_log[:] = id_log(logs["departure"])
+        self.participation_log[:] = id_log(logs["participation"])
+        self.quarantine_log[:] = [
+            (int(r), [(int(cid), str(reason)) for cid, reason in entries])
+            for r, entries in logs["quarantine"]
+        ]
+        counters = header["counters"]
+        self.n_aggregation_events = int(counters["n_aggregation_events"])
+        self.n_updates_absorbed = int(counters["n_updates_absorbed"])
+        tracker = env.tracker
+        tracker.uploads.clear()
+        for phase, count in header["traffic"]["uploads"].items():
+            tracker.uploads[phase] = int(count)
+        tracker.downloads.clear()
+        for phase, count in header["traffic"]["downloads"].items():
+            tracker.downloads[phase] = int(count)
+        history.records[:] = [
+            RoundRecord(**record) for record in header["history"]["records"]
+        ]
+        layout = env.layout
+        self._stale_buffer.clear()
+        for entry, row in zip(header["stale"], arrays["stale_rows"]):
+            self._stale_buffer[int(entry["client_id"])] = (
+                int(entry["produced_round"]),
+                rebuild_update(entry, row, layout),
+            )
+        self._in_flight.restore(
+            [
+                (
+                    int(entry["done"]),
+                    int(entry["seq"]),
+                    int(entry["dispatch_round"]),
+                    rebuild_update(entry, row, layout),
+                )
+                for entry, row in zip(
+                    header["in_flight"], arrays["in_flight_rows"]
+                )
+            ],
+            int(header["in_flight_seq"]),
+        )
+        self._async_buffer[:] = [
+            (int(entry["dispatch_round"]), rebuild_update(entry, row, layout))
+            for entry, row in zip(header["async"], arrays["async_rows"])
+        ]
+        mean_acc = float(header["mean_accuracy"])
+        per_client = arrays["per_client_accuracy"].astype(np.float64)
+        self._next_round = int(header["next_round"])
+        self._last_eval = (mean_acc, per_client)
+        return self._next_round, mean_acc, per_client
 
     # ------------------------------------------------------------------
     # Realized-schedule capture

@@ -122,6 +122,15 @@ class TestCliExecution:
             "compute_budget": None,
             "trace": None,
             "async": None,
+            "defense": {
+                "corruption": None,
+                "robust_agg": "none",
+                "norm_bound": None,
+                "min_survivors": 0,
+                "max_retries": 0,
+                "checkpoint": None,
+                "resumed": False,
+            },
         }
         assert 0.0 <= payload["final_accuracy"] <= 1.0
         # IFCA has no constructor fraction — participation must have

@@ -106,6 +106,26 @@ class TestValidation:
         with pytest.raises(ValueError, match="square"):
             validate_distance_matrix(np.zeros((2, 3)))
 
+    def test_nan_entry_names_the_offending_pair(self):
+        d = np.zeros((4, 4))
+        d[1, 3] = d[3, 1] = np.nan
+        with pytest.raises(ValueError, match=r"non-finite entry d\[1, 3\]"):
+            validate_distance_matrix(d)
+
+    def test_inf_entry_names_the_offending_pair(self):
+        d = np.zeros((3, 3))
+        d[0, 2] = d[2, 0] = np.inf
+        with pytest.raises(ValueError, match=r"non-finite entry d\[0, 2\] = inf"):
+            validate_distance_matrix(d)
+
+    def test_finiteness_is_checked_before_symmetry(self):
+        # A NaN also breaks the symmetry check; the error must still
+        # point at the corrupt entry, not the downstream symptom.
+        d = np.zeros((3, 3))
+        d[0, 1] = np.nan  # asymmetric AND non-finite
+        with pytest.raises(ValueError, match="non-finite entry"):
+            validate_distance_matrix(d)
+
     def test_exactifies_small_violations(self):
         d = np.array([[0.0, 1.0], [1.0 + 1e-12, 0.0]])
         out = validate_distance_matrix(d)
