@@ -3,12 +3,15 @@
 #
 #   scripts/bench.sh   # rewrites BENCH_kernels.json + BENCH_eval.json
 #                      #        + BENCH_train.json + BENCH_scenarios.json
+#                      #        + BENCH_population.json
 #
-# BENCH_kernels.json   — packed-vs-dict aggregation kernels (PR 1);
-# BENCH_eval.json      — grouped/fused vs per-client evaluation (PR 2);
-# BENCH_train.json     — batched lockstep vs serial cohort training (PR 3);
-# BENCH_scenarios.json — round-engine overhead vs the pre-engine loops
-#                        (PR 4; gated < 2%, plus the C=0.2 sampled row).
+# BENCH_kernels.json    — packed-vs-dict aggregation kernels (PR 1);
+# BENCH_eval.json       — grouped/fused vs per-client evaluation (PR 2);
+# BENCH_train.json      — batched lockstep vs serial cohort training (PR 3);
+# BENCH_scenarios.json  — round-engine overhead vs the pre-engine loops
+#                         (PR 4; gated < 2%, plus the C=0.2 sampled row);
+# BENCH_population.json — sharded-store rounds at 100k+ clients
+#                         (O(cohort) wall-clock + resident-memory record).
 # The records carry parity/bit-identity fields; the fast correctness
 # gates live in the test suite (scripts/tier1.sh), so a benchmark run is
 # about timings, not correctness.
@@ -19,3 +22,4 @@ python benchmarks/bench_kernels.py
 python benchmarks/bench_eval.py
 python benchmarks/bench_train.py
 python benchmarks/bench_scenarios.py
+python benchmarks/bench_population.py

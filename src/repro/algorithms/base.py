@@ -38,6 +38,7 @@ from repro.fl.rounds import (
     aggregation_weights,
 )
 from repro.fl.simulation import FederatedEnv
+from repro.fl.store import tiered_weighted_average
 from repro.nn.state_flat import unpack_state
 
 __all__ = [
@@ -134,6 +135,13 @@ def survivor_weighted_average(
     scenario — every weight is the sample count, so the result is
     bit-identical to the historical
     ``packed_weighted_average(cohort, [u.n_samples ...])`` call.
+
+    When the environment's store config enables tiered aggregation
+    (``edge_size > 0``) and the rule is the plain weighted average, the
+    GEMV is split across edge aggregators
+    (:func:`repro.fl.store.tiered_weighted_average`); a single edge —
+    and the default ``edge_size = 0`` — is bit-identical to the flat
+    kernel, so every seeded pin runs unchanged.
     """
     if not updates:
         return None
@@ -142,12 +150,17 @@ def survivor_weighted_average(
     if not keep.any():
         return None
     if keep.all():
-        return robust_weighted_average(
-            cohort_matrix(env, updates), weights, robust_agg, trim_fraction
+        live, live_weights = updates, weights
+    else:
+        live = [u for u, k in zip(updates, keep) if k]
+        live_weights = weights[keep]
+    store_config = getattr(env, "store_config", None)
+    if robust_agg == "none" and store_config is not None and store_config.edge_size > 0:
+        return tiered_weighted_average(
+            cohort_matrix(env, live), live_weights, store_config.edge_size
         )
-    live = [u for u, k in zip(updates, keep) if k]
     return robust_weighted_average(
-        cohort_matrix(env, live), weights[keep], robust_agg, trim_fraction
+        cohort_matrix(env, live), live_weights, robust_agg, trim_fraction
     )
 
 

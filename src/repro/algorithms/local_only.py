@@ -13,6 +13,13 @@ policy (participation, failures, stragglers) composes here too: a
 client that fails or misses the deadline simply keeps last round's
 weights — but with ``charges_communication = False``, so the engine
 skips the per-round traffic accounting (nothing crosses the network).
+
+Per-client weights live in the environment's client-state store
+(:mod:`repro.fl.store`): the default dense store is bit-identical to
+the historical per-client dict list, and ``--store sharded`` keeps
+resident memory proportional to the clients actually touched — the
+population-scale path, since this is the one algorithm whose state is
+O(population) rather than O(clusters).
 """
 
 from __future__ import annotations
@@ -37,21 +44,34 @@ class _LocalRounds(RoundStrategy):
 
     def __init__(self, env: FederatedEnv) -> None:
         # Every client starts from the shared init (fair comparison) and
-        # keeps its own weights forever after.
-        self.states = [env.init_state() for _ in range(env.federation.n_clients)]
+        # keeps its own weights forever after, in the environment's
+        # client-state store — rows rest at the wire dtype, exactly what
+        # the historical per-client dict list held after an unpack.
+        self.store = env.make_store()
 
     def broadcast_for(
         self, engine: RoundEngine, round_index: int, participants: np.ndarray
     ) -> list[UpdateTask]:
-        return [UpdateTask(int(cid), self.states[cid]) for cid in participants]
+        # Only the cohort's rows are ever widened to float64: the long
+        # tail of unsampled clients stays at rest in the store.
+        return [
+            UpdateTask(int(cid), flat=self.store.get(int(cid)))
+            for cid in participants
+        ]
 
     def aggregate(
         self, engine: RoundEngine, round_index: int, survivors: list[ClientUpdate]
     ) -> float:
         if not survivors:
             return float("nan")
+        layout = engine.env.layout
         for update in survivors:
-            self.states[update.client_id] = dict(update.state)
+            row = (
+                update.flat
+                if update.flat is not None
+                else layout.pack(update.state)
+            )
+            self.store.set(update.client_id, row)
         return survivor_mean_loss(survivors)
 
     def evaluate(
@@ -59,32 +79,28 @@ class _LocalRounds(RoundStrategy):
     ) -> tuple[float, np.ndarray]:
         # Worst case for grouped eval — every client has its own model,
         # so identity-dedup finds m singleton groups and the compat view
-        # degenerates to the per-client loop.
-        return engine.env.mean_local_accuracy(self.states)
+        # degenerates to the per-client loop.  O(population): the
+        # population-scale bench overrides this hook.
+        return engine.env.mean_local_accuracy(
+            [self.store.state_view(cid) for cid in range(self.store.n_clients)]
+        )
 
     def current_n_clusters(self) -> int:
-        return len(self.states)  # every client is its own island
+        return self.store.n_clients  # every client is its own island
 
     def checkpoint_payload(
         self, engine: RoundEngine
     ) -> tuple[dict, dict[str, np.ndarray]]:
-        # Per-client states are trained parameter dicts at the model's
-        # own dtypes: packing is exact and the wire dtype stores the
-        # packed rows exactly.
-        layout = engine.env.layout
-        wire = layout.wire_dtype
-        return {}, {
-            "states": np.stack(
-                [layout.pack(state) for state in self.states]
-            ).astype(wire)
-        }
+        # The store already rests at the wire dtype; the dense kind's
+        # array is byte-identical to the pre-store payload
+        # (stack of packed rows, cast to wire).
+        meta, arrays = self.store.checkpoint_payload()
+        return {"store": meta}, arrays
 
     def restore_payload(self, engine: RoundEngine, meta, arrays) -> None:
-        layout = engine.env.layout
-        self.states = [
-            dict(layout.unpack(row.astype(np.float64)))
-            for row in arrays["states"]
-        ]
+        # Cross-kind and legacy-compatible: checkpoints written before
+        # the store carried a bare dense matrix and no store meta.
+        self.store.restore_from(meta.get("store", {}), arrays)
 
 
 class LocalOnly(FLAlgorithm):

@@ -82,6 +82,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="lenet5")
     p.add_argument("--executor", default="serial",
                    choices=["serial", "thread", "process", "batched"])
+    p.add_argument("--store", default="dense", choices=["dense", "sharded"],
+                   help="client-state store backing per-client algorithms: "
+                        "'dense' keeps one wire-dtype matrix (the "
+                        "bit-identity default), 'sharded' materialises "
+                        "wire-dtype shards lazily so memory tracks the "
+                        "clients actually touched — the population-scale "
+                        "configuration")
+    p.add_argument("--shard-size", type=int, default=256, metavar="N",
+                   help="clients per shard for --store sharded "
+                        "(default: 256)")
+    p.add_argument("--store-path", default=None, metavar="DIR",
+                   help="back sharded-store shards with memory-mapped "
+                        ".npy files under DIR instead of anonymous memory")
+    p.add_argument("--edge-size", type=int, default=0, metavar="E",
+                   help="tiered aggregation: reduce survivors in edge "
+                        "groups of E rows and fold the partial sums at "
+                        "the root (0 = single flat GEMV, the bit-identity "
+                        "default; only applies to the plain weighted "
+                        "average, robust rules are unaffected)")
     p.add_argument("--client-fraction", type=float, default=1.0,
                    help="participation fraction C per round (any algorithm)")
     p.add_argument("--failure-rate", type=float, default=0.0,
@@ -256,6 +275,7 @@ def _cmd_run(args: argparse.Namespace) -> dict:
     from repro.fl.parallel import make_executor
     from repro.fl.rounds import AsyncConfig, ScenarioConfig
     from repro.fl.simulation import FederatedEnv
+    from repro.fl.store import StoreConfig
     from repro.fl.trace import AvailabilityTrace
 
     scale = get_scale(args.scale)
@@ -321,6 +341,14 @@ def _cmd_run(args: argparse.Namespace) -> dict:
         max_retries=args.max_retries,
         checkpoint=checkpoint,
     )
+    if args.store_path is not None and args.store != "sharded":
+        raise SystemExit("--store-path needs --store sharded")
+    store_config = StoreConfig(
+        kind=args.store,
+        shard_size=args.shard_size,
+        edge_size=args.edge_size,
+        path=args.store_path,
+    )
     n_clients = args.clients or scale.n_clients
     n_rounds = args.rounds or scale.n_rounds
     federation = build_federation(
@@ -338,6 +366,7 @@ def _cmd_run(args: argparse.Namespace) -> dict:
         train_cfg=scale.train,
         seed=args.seed,
         executor=make_executor(args.executor),
+        store=store_config,
     ) as env:
         algorithm = make_algorithm(
             args.algorithm, **algorithm_kwargs(args.algorithm, scale)
@@ -360,6 +389,10 @@ def _cmd_run(args: argparse.Namespace) -> dict:
         "dataset": args.dataset,
         "final_accuracy": result.final_accuracy,
         "n_clusters": result.n_clusters,
+        "population": {
+            "n_clients": n_clients,
+            "store": store_config.describe(),
+        },
         "scenario": {
             "client_fraction": args.client_fraction,
             "failure_rate": args.failure_rate,

@@ -10,6 +10,7 @@ executors can ship them across threads or processes unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
@@ -19,7 +20,12 @@ from repro.fl.config import TrainConfig
 from repro.nn.loss import CrossEntropyLoss
 from repro.nn.module import Module
 from repro.nn.optim import SGD, ProximalSGD
-from repro.nn.state_flat import StateLayout, pack_state, unpack_state
+from repro.nn.state_flat import (
+    LazyStateView,
+    StateLayout,
+    pack_state,
+    unpack_state,
+)
 
 __all__ = [
     "ClientUpdate",
@@ -39,6 +45,11 @@ class ClientUpdate:
     the server.  Executors always populate it; it defaults to ``None``
     only for hand-built updates in tests and external code.
 
+    On the hot path ``state`` is a :class:`repro.nn.state_flat.LazyStateView`
+    over ``flat`` — the dict never materialises unless a compatibility
+    consumer actually indexes it, so each in-flight update holds one
+    float64 row, not a row *plus* an eager per-key dict.
+
     ``weight`` is the update's effective aggregation weight when
     scenario middleware overrides the historical sample-count weighting
     (compute budgets weight by steps taken; stale folding multiplies in
@@ -49,7 +60,7 @@ class ClientUpdate:
     """
 
     client_id: int
-    state: dict[str, np.ndarray]
+    state: Mapping[str, np.ndarray]
     n_samples: int
     mean_loss: float
     n_batches: int
@@ -173,12 +184,12 @@ def run_client_update_flat(
         anchor_flat=incoming_flat,
         layout=layout,
     )
-    state = model.state_dict(copy=True)
+    flat = pack_state(model.state_dict(copy=False), layout)
     return ClientUpdate(
         client_id=client_id,
-        state=state,
+        state=LazyStateView(flat, layout),
         n_samples=len(dataset),
         mean_loss=mean_loss,
         n_batches=n_batches,
-        flat=pack_state(state, layout),
+        flat=flat,
     )

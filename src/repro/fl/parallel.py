@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.fl.client import ClientUpdate, run_client_update_flat
 from repro.fl.communication import decode_flat_payload, encode_flat_payload
+from repro.nn.state_flat import LazyStateView
 from repro.utils.rng import rng_for
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -256,7 +257,7 @@ def _zero_budget_update(
     flat = env.layout.round_trip(vector)
     return ClientUpdate(
         client_id=task.client_id,
-        state=env.layout.unpack(flat),
+        state=LazyStateView(flat, env.layout),
         n_samples=len(env.federation.clients[task.client_id].train),
         mean_loss=0.0,
         n_batches=0,
@@ -456,7 +457,7 @@ class ProcessClientExecutor:
             updates.append(
                 ClientUpdate(
                     client_id=client_id,
-                    state=env.layout.unpack(flat),
+                    state=LazyStateView(flat, env.layout),
                     n_samples=n_samples,
                     mean_loss=mean_loss,
                     n_batches=n_batches,
@@ -495,6 +496,10 @@ class BatchedClientExecutor:
         #: ("batched", n_tasks) / ("serial", n_tasks) counts of the most
         #: recent run — the conv-fallback visibility hook.
         self.last_dispatch: dict[str, int] = {}
+        # Round-to-round gather buffers (see train_cohort_flat): the
+        # per-round factor slab is first-touch-faulted once per shape,
+        # not once per round.
+        self._gather_cache: dict = {}
 
     def run(
         self, env: "FederatedEnv", tasks: Sequence[UpdateTask], round_index: int
@@ -525,6 +530,7 @@ class BatchedClientExecutor:
                 round_index,
                 prox_mu=prox_mu,
                 max_steps=[tasks[i].max_steps for i in members],
+                gather_cache=self._gather_cache,
             )
             self.last_dispatch["batched"] += len(members)
             for i, update in zip(members, updates):
@@ -532,7 +538,8 @@ class BatchedClientExecutor:
         return [results[i] for i in range(len(tasks))]
 
     def close(self) -> None:
-        """No resources to release."""
+        """Release the cached gather buffers."""
+        self._gather_cache.clear()
 
 
 _EXECUTORS = {

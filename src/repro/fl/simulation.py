@@ -43,6 +43,7 @@ from repro.fl.eval_flat import (
 )
 from repro.fl.evaluation import evaluate_model
 from repro.fl.parallel import SerialClientExecutor, UpdateTask, make_executor
+from repro.fl.store import ClientStateStore, StoreConfig, make_store
 from repro.nn.models import build_model, final_linear_name
 from repro.nn.module import Sequential
 from repro.nn.state_flat import StateLayout
@@ -76,6 +77,13 @@ class FederatedEnv:
         lockstep cohort training on the flat plane).
     tracker:
         Communication tracker (new one by default).
+    store:
+        Client-state store policy (see :mod:`repro.fl.store`): a
+        :class:`~repro.fl.store.StoreConfig`, a kind name (``"dense"``
+        / ``"sharded"``), or ``None`` for the default dense config —
+        the configuration every seeded bit-identity pin runs on.
+        Algorithms that keep per-client state (``local_only``) build
+        their store via :meth:`make_store`.
     """
 
     def __init__(
@@ -87,6 +95,7 @@ class FederatedEnv:
         seed: int = 0,
         executor=None,
         tracker: CommunicationTracker | None = None,
+        store: "StoreConfig | str | None" = None,
     ) -> None:
         self.federation = federation
         self.model_name = model_name
@@ -97,6 +106,9 @@ class FederatedEnv:
             executor = make_executor(executor)
         self.executor = executor or SerialClientExecutor()
         self.tracker = tracker or CommunicationTracker()
+        if isinstance(store, str):
+            store = StoreConfig(kind=store)
+        self.store_config = store or StoreConfig()
         self.scratch_model = self.make_model()
         self._init_state = self.scratch_model.state_dict(copy=True)
         #: Flat-plane layout shared by executors, aggregation and
@@ -126,6 +138,22 @@ class FederatedEnv:
     def init_state(self) -> dict[str, np.ndarray]:
         """Copy of the initial global model state."""
         return {k: v.copy() for k, v in self._init_state.items()}
+
+    def make_store(self) -> ClientStateStore:
+        """Per-client state store under this environment's config.
+
+        Every client starts at the initial global model; the store keeps
+        rows at the layout's wire dtype (see :mod:`repro.fl.store`), so
+        ``get`` returns exactly what the historical dict path held after
+        an unpack — the default dense config is bit-identical to the
+        pre-store per-client state lists.
+        """
+        return make_store(
+            self.store_config,
+            self.federation.n_clients,
+            self.layout,
+            self.layout.pack(self._init_state),
+        )
 
     def server_rng(self, round_index: int) -> np.random.Generator:
         """Server-side randomness for a round (client sampling etc.)."""

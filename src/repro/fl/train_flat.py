@@ -246,15 +246,23 @@ def _gather_step(
     input_shape: tuple[int, ...],
     label_buf: np.ndarray,
     weight_buf: np.ndarray,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Materialise one lockstep batch ``(C, B, *input_shape)``.
 
-    The image tensor is freshly allocated each step — factored layers
-    retain references to layer inputs, so buffers cannot be recycled.
-    Padding rows stay zero with zero row weight.
+    Without ``out`` the image tensor is freshly allocated; with it the
+    batch is gathered straight into the given buffer (the preallocated
+    factor-slab / step-buffer path — factored layers retain references
+    to layer inputs, so a caller passing ``out`` must hand each lockstep
+    position a distinct slab slice).  Padding rows stay zero with zero
+    row weight.
     """
     c = len(datasets)
-    x = np.zeros((c, batch_width) + tuple(input_shape), dtype=np.float32)
+    if out is None:
+        x = np.zeros((c, batch_width) + tuple(input_shape), dtype=np.float32)
+    else:
+        x = out
+        x[...] = 0.0
     label_buf[...] = 0
     weight_buf[...] = 0.0
     for i, idx in enumerate(step.indices):
@@ -275,6 +283,7 @@ def train_cohort_flat(
     prox_mu: float = 0.0,
     factored_keys: frozenset[str] | None = None,
     max_steps: "Sequence[int | None] | None" = None,
+    gather_cache: dict | None = None,
 ) -> list[ClientUpdate]:
     """Run one cohort's local training in lockstep on the flat plane.
 
@@ -290,6 +299,16 @@ def train_cohort_flat(
     clients drop out of the lockstep schedule early via the per-step
     ``active`` masks, and a zero-budget client's emitted row is exactly
     the broadcast rounded through the parameter dtypes.
+
+    ``gather_cache`` is an optional dict the caller keeps across rounds
+    (the batched executor owns one): lockstep batches are gathered
+    straight into preallocated factor storage — a ``(steps, C, B, ...)``
+    slab for factored cohorts (each position needs a distinct buffer the
+    factored layers can retain), one reused step buffer otherwise — so
+    repeated rounds skip both the per-step allocations and the
+    first-touch page faults of fresh buffers.  The gathered values are
+    identical either way; results are bit-identical with or without the
+    cache.
     """
     cfg = env.train_cfg
     layout: StateLayout = env.layout
@@ -351,9 +370,40 @@ def train_cohort_flat(
     total_loss = np.zeros(n_clients, dtype=np.float64)
     n_batches = np.zeros(n_clients, dtype=np.int64)
 
-    for step in steps:
+    x_shape = (n_clients, batch_width) + input_shape
+    step_buffers: list[np.ndarray] | None = None
+    if gather_cache is not None and steps:
+        if factored_keys:
+            # Factored layers retain every step's input until flush, so
+            # each lockstep position needs its own slab slice; the slab
+            # is capped like the factors it feeds.
+            need = len(steps) * int(np.prod(x_shape)) * 4
+            if need <= _FACTOR_BYTES_CAP:
+                key = ("slab",) + x_shape
+                slab = gather_cache.get(key)
+                if slab is None or slab.shape[0] < len(steps):
+                    slab = np.zeros((len(steps),) + x_shape, dtype=np.float32)
+                    gather_cache[key] = slab
+                step_buffers = [slab[t] for t in range(len(steps))]
+        else:
+            # Dense-only cohorts consume the batch within the step, so
+            # one buffer serves every position.
+            key = ("step",) + x_shape
+            buf = gather_cache.get(key)
+            if buf is None:
+                buf = np.zeros(x_shape, dtype=np.float32)
+                gather_cache[key] = buf
+            step_buffers = [buf] * len(steps)
+
+    for t, step in enumerate(steps):
         x = _gather_step(
-            datasets, step, batch_width, input_shape, labels, weights
+            datasets,
+            step,
+            batch_width,
+            input_shape,
+            labels,
+            weights,
+            out=step_buffers[t] if step_buffers is not None else None,
         )
         logits = batched.forward(x)
         losses = loss_fn.forward(logits, labels, weights)

@@ -27,9 +27,11 @@ from repro.algorithms.registry import make_algorithm
 from repro.data.federation import build_federation
 from repro.fl.aggregation import packed_weighted_average
 from repro.fl.config import TrainConfig
+from repro.fl.defense import CheckpointConfig
 from repro.fl.parallel import UpdateTask
 from repro.fl.rounds import RoundEngine, ScenarioConfig, aggregation_weights
 from repro.fl.simulation import FederatedEnv
+from repro.fl.store import StoreConfig
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.trace import AvailabilityTrace
 
@@ -65,7 +67,7 @@ def federation():
 
 @pytest.fixture(scope="module")
 def env_factory(federation):
-    def make(executor="serial", local_epochs=2, seed=2):
+    def make(executor="serial", local_epochs=2, seed=2, store=None):
         return FederatedEnv(
             federation,
             model_name="mlp",
@@ -75,6 +77,7 @@ def env_factory(federation):
             ),
             seed=seed,
             executor=executor,
+            store=store,
         )
 
     return make
@@ -829,3 +832,121 @@ class TestEvalCadence:
                 )
             )
         assert history.rounds_to_accuracy(0.5) == 2
+
+
+# ----------------------------------------------------------------------
+# Client-state store integration: the population-scale path keeps pins
+# ----------------------------------------------------------------------
+class TestStoreIntegration:
+    """The store swap is a memory policy, never a numerics change.
+
+    ``local_only`` is the only algorithm with O(population) state, so it
+    is where the sharded store must prove bit-identity; fedavg with a
+    single-edge tier pins the ``edge_size >= cohort`` fold to the flat
+    GEMV the Table-I numbers run on.
+    """
+
+    _SHARDED = StoreConfig(kind="sharded", shard_size=3)
+
+    def test_local_only_pin_holds_on_sharded_store(self, env_factory):
+        env = env_factory("serial", store=self._SHARDED)
+        result = make_algorithm("local_only").run(env, n_rounds=3)
+        acc, loss, uploaded, downloaded = _PINS["local_only"]
+        assert result.final_accuracy == acc
+        assert result.history.records[-1].mean_train_loss == loss
+        assert env.tracker.total_uploaded == uploaded
+        assert env.tracker.total_downloaded == downloaded
+
+    def test_sharded_matches_dense_under_scenario(self, env_factory):
+        scenario = ScenarioConfig(
+            client_fraction=0.5, failure_rate=0.25, straggler_rate=0.25
+        )
+        results = {}
+        for store in (None, self._SHARDED):
+            env = env_factory("serial", local_epochs=1, store=store)
+            results[store] = make_algorithm("local_only").run(
+                env, n_rounds=3, scenario=scenario
+            )
+        dense, sharded = results[None], results[self._SHARDED]
+        assert sharded.final_accuracy == dense.final_accuracy
+        np.testing.assert_array_equal(
+            sharded.per_client_accuracy, dense.per_client_accuracy
+        )
+
+    @pytest.mark.parametrize("executor", ["thread", "process", "batched"])
+    def test_sharded_store_cell_identical_across_executors(
+        self, env_factory, executor
+    ):
+        scenario = ScenarioConfig(client_fraction=0.75, failure_rate=0.25)
+
+        def run(kind):
+            env = env_factory(kind, local_epochs=1, store=self._SHARDED)
+            try:
+                return make_algorithm("local_only").run(
+                    env, n_rounds=2, scenario=scenario
+                )
+            finally:
+                env.close()
+
+        serial = run("serial")
+        other = run(executor)
+        assert serial.final_accuracy == other.final_accuracy
+        np.testing.assert_array_equal(
+            serial.per_client_accuracy, other.per_client_accuracy
+        )
+
+    def test_local_only_resume_through_sharded_store(
+        self, env_factory, tmp_path
+    ):
+        def run(d, resume, n_rounds):
+            env = env_factory("serial", local_epochs=1, store=self._SHARDED)
+            return make_algorithm("local_only").run(
+                env,
+                n_rounds=n_rounds,
+                scenario=ScenarioConfig(
+                    failure_rate=0.2,
+                    checkpoint=CheckpointConfig(directory=d, resume=resume),
+                ),
+            )
+
+        ref = run(tmp_path / "ref", False, 4)
+        run(tmp_path / "cut", False, 2)
+        resumed = run(tmp_path / "cut", True, 4)
+        assert resumed.final_accuracy == ref.final_accuracy
+        np.testing.assert_array_equal(
+            resumed.per_client_accuracy, ref.per_client_accuracy
+        )
+        assert [
+            (r.round_index, r.mean_train_loss) for r in resumed.history.records
+        ] == [(r.round_index, r.mean_train_loss) for r in ref.history.records]
+
+    def test_single_edge_tier_keeps_fedavg_pin(self, env_factory):
+        # edge_size >= cohort: one edge, one GEMV — bit-identical to the
+        # flat path, so the seeded pin must hold verbatim.
+        env = env_factory("serial", store=StoreConfig(edge_size=64))
+        result = make_algorithm("fedavg").run(env, n_rounds=3)
+        acc, loss, uploaded, downloaded = _PINS["fedavg"]
+        assert result.final_accuracy == acc
+        assert result.history.records[-1].mean_train_loss == loss
+        assert env.tracker.total_uploaded == uploaded
+        assert env.tracker.total_downloaded == downloaded
+
+    def test_multi_edge_tier_is_deterministic_and_close(self, env_factory):
+        def run(edge_size):
+            env = env_factory("serial", local_epochs=1, store=StoreConfig(
+                edge_size=edge_size))
+            return make_algorithm("fedavg").run(env, n_rounds=2)
+
+        flat = run(0)
+        tiered_a = run(3)
+        tiered_b = run(3)
+        # controlled associativity: same fold order, same bits
+        np.testing.assert_array_equal(
+            tiered_a.per_client_accuracy, tiered_b.per_client_accuracy
+        )
+        # vs the flat GEMV only the summation tree differs
+        np.testing.assert_allclose(
+            tiered_a.per_client_accuracy,
+            flat.per_client_accuracy,
+            atol=0.05,
+        )
