@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Ablation matrix refresh: run the scenario × algorithm regression
+# surface and regenerate the knob-importance report.
+#
+#   scripts/ablate.sh                    # nightly matrix -> ablation_out/
+#   scripts/ablate.sh --matrix check     # the 6-cell fast-lane smoke
+#   scripts/ablate.sh --out my_dir       # alternate record directory
+#
+# Records are content-addressed (one JSON per run ID under
+# <out>/runs/), so re-running an interrupted or unchanged matrix only
+# executes the missing cells and then refreshes <out>/ABLATION.{json,md}.
+# Extra arguments are passed through to `repro ablate`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+exec python -m repro ablate --matrix nightly "$@"

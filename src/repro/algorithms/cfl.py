@@ -491,6 +491,7 @@ class CFL(FLAlgorithm):
             extras={
                 "split_rounds": sorted(
                     {r for c in strategy.clusters for r in c.history_of_splits}
-                )
+                ),
+                "engine_record": engine.run_record(),
             },
         )

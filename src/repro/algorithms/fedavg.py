@@ -105,5 +105,6 @@ class FedAvg(FLAlgorithm):
                 # seeded drops/deadline misses) — replayable through
                 # ``ScenarioConfig(trace=...)``.
                 "realized_trace": engine.realized_trace(),
+                "engine_record": engine.run_record(),
             },
         )

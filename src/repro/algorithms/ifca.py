@@ -210,5 +210,8 @@ class IFCA(FLAlgorithm):
             per_client_accuracy=per_client,
             cluster_labels=strategy.labels,
             comm=env.tracker.by_phase() | {"total": env.tracker.snapshot()},
-            extras={"k": self.n_clusters},
+            extras={
+                "k": self.n_clusters,
+                "engine_record": engine.run_record(),
+            },
         )

@@ -131,4 +131,5 @@ class LocalOnly(FLAlgorithm):
             per_client_accuracy=per_client,
             cluster_labels=np.arange(m, dtype=np.int64),
             comm=env.tracker.by_phase() | {"total": env.tracker.snapshot()},
+            extras={"engine_record": engine.run_record()},
         )

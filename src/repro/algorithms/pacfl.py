@@ -148,5 +148,9 @@ class PACFL(FLAlgorithm):
             per_client_accuracy=per_client,
             cluster_labels=labels,
             comm=env.tracker.by_phase() | {"total": env.tracker.snapshot()},
-            extras={"proximity": proximity, "n_clusters": n_clusters},
+            extras={
+                "proximity": proximity,
+                "n_clusters": n_clusters,
+                "engine_record": engine.run_record(),
+            },
         )

@@ -7,7 +7,9 @@ Exposes the experiment drivers without writing any Python:
 * ``fig2``   — the workflow trace incl. newcomer (Fig. 2);
 * ``sweep``  — the Dirichlet-α heterogeneity sweep (A3);
 * ``comm``   — the communication-cost study (C1);
-* ``run``    — one algorithm on one federation, fully parameterised.
+* ``run``    — one algorithm on one federation, fully parameterised;
+* ``ablate`` — the scenario × algorithm ablation matrix (resumable,
+  content-addressed run records + knob-importance report).
 
 All commands accept ``--scale quick|bench|paper`` (or the ``REPRO_SCALE``
 environment variable) and ``--out results.json`` to persist metrics.
@@ -176,6 +178,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resume from the checkpoint in --checkpoint DIR if "
                         "one exists (bit-identical to the uninterrupted "
                         "run); missing file starts fresh")
+
+    p = sub.add_parser(
+        "ablate",
+        help="scenario x algorithm ablation matrix with stable run IDs",
+        description="Execute an ablation matrix (baseline + one-knob "
+                    "variants per algorithm x seed), writing one "
+                    "content-addressed JSON record per run under "
+                    "OUT/runs/ and a knob-importance report to "
+                    "OUT/ABLATION.{json,md}.  Completed run IDs are "
+                    "skipped on re-invocation, so an interrupted matrix "
+                    "resumes where it stopped.",
+    )
+    p.add_argument("--matrix", default="check", metavar="NAME",
+                   help="built-in matrix: 'check' (6-cell fast-lane "
+                        "smoke) or 'nightly' (every scenario knob x 5 "
+                        "algorithms + pairwise cells)")
+    p.add_argument("--config", default=None, metavar="FILE",
+                   help="declarative AblationConfig JSON (overrides "
+                        "--matrix)")
+    # ``--out`` is a *directory* here (records + report), unlike the
+    # other commands' JSON file path — so it gets its own dest and the
+    # shared main() JSON dump is disabled for this command.
+    p.add_argument("--out", dest="out_dir", default="ablation_out",
+                   metavar="DIR",
+                   help="record/report directory (default: ablation_out)")
+    p.set_defaults(out=None)
+    p.add_argument("--check", action="store_true",
+                   help="run the CI smoke gate instead of a matrix: "
+                        "run-ID stability across two expansions, "
+                        "zero re-executions on the second invocation, "
+                        "and the baseline cell reproducing the seeded "
+                        "fedavg parity pin bit-for-bit")
+    p.add_argument("--list", action="store_true", dest="list_cells",
+                   help="print the matrix's cells and run IDs without "
+                        "executing anything")
     return parser
 
 
@@ -431,6 +468,55 @@ def _cmd_run(args: argparse.Namespace) -> dict:
     }
 
 
+def _cmd_ablate(args: argparse.Namespace) -> dict:
+    from repro.experiments.ablation import (
+        AblationCheckError,
+        cell_run_id,
+        generate_cells,
+        load_config,
+        named_matrix,
+        run_check,
+        run_matrix,
+    )
+
+    if args.check:
+        try:
+            return {"experiment": "ablate_check"} | run_check()
+        except AblationCheckError as exc:
+            raise SystemExit(f"ablate --check: FAIL — {exc}") from exc
+    config = (
+        load_config(args.config) if args.config else named_matrix(args.matrix)
+    )
+    if args.list_cells:
+        cells = generate_cells(config)
+        for cell in cells:
+            print(f"{cell_run_id(config, cell)}  {cell.label()}")
+        print(f"{len(cells)} cell(s) in matrix {config.name!r}")
+        return {
+            "experiment": "ablate_list",
+            "matrix": config.name,
+            "cells": [
+                {"run_id": cell_run_id(config, cell), "label": cell.label()}
+                for cell in cells
+            ],
+        }
+    outcome = run_matrix(config, args.out_dir, echo=print)
+    print((outcome.out_dir / "ABLATION.md").read_text())
+    print(
+        f"matrix {config.name!r}: {outcome.n_executed} executed, "
+        f"{outcome.n_skipped} cached -> {outcome.out_dir}"
+    )
+    return {
+        "experiment": "ablate",
+        "matrix": config.name,
+        "out_dir": str(outcome.out_dir),
+        "n_executed": outcome.n_executed,
+        "n_skipped": outcome.n_skipped,
+        "run_ids": outcome.run_ids,
+        "ranking": outcome.report["ranking"],
+    }
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], dict]] = {
     "table1": _cmd_table1,
     "fig1": _cmd_fig1,
@@ -438,6 +524,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], dict]] = {
     "sweep": _cmd_sweep,
     "comm": _cmd_comm,
     "run": _cmd_run,
+    "ablate": _cmd_ablate,
 }
 
 

@@ -461,6 +461,7 @@ class FedClust(FLAlgorithm):
                 "proximity": fitted.proximity.matrix,
                 "n_clusters": fitted.n_clusters,
                 "onboarded": strategy.onboarded,
+                "engine_record": engine.run_record(),
             },
         )
 

@@ -5,9 +5,25 @@ Experiment index (see DESIGN.md §4):
 * T1 — :func:`repro.experiments.table1.run_table1` (paper Table I);
 * F1 — :func:`repro.experiments.fig1.run_fig1` (paper Fig. 1);
 * F2 — :func:`repro.experiments.fig2.run_fig2` (paper Fig. 2 workflow);
-* A1–A3, C1 — :mod:`repro.experiments.ablations`.
+* A1–A3, C1 — :mod:`repro.experiments.ablations`;
+* scenario × algorithm ablation matrix — :mod:`repro.experiments.ablation`.
 """
 
+from repro.experiments.ablation import (
+    AblationCell,
+    AblationCheckError,
+    AblationConfig,
+    MatrixOutcome,
+    build_report,
+    cell_run_id,
+    check_matrix,
+    format_report,
+    generate_cells,
+    named_matrix,
+    nightly_matrix,
+    run_check,
+    run_matrix,
+)
 from repro.experiments.ablations import (
     AlphaSweepResult,
     CommunicationResult,
@@ -35,6 +51,19 @@ from repro.experiments.table1 import (
 )
 
 __all__ = [
+    "AblationCell",
+    "AblationCheckError",
+    "AblationConfig",
+    "MatrixOutcome",
+    "build_report",
+    "cell_run_id",
+    "check_matrix",
+    "format_report",
+    "generate_cells",
+    "named_matrix",
+    "nightly_matrix",
+    "run_check",
+    "run_matrix",
     "AlphaSweepResult",
     "CommunicationResult",
     "LinkageAblationResult",

@@ -1761,3 +1761,42 @@ class RoundEngine:
                 for cid in ids:
                     rounds.get(cid, set()).discard(round_index)
         return AvailabilityTrace(rounds)
+
+    # ------------------------------------------------------------------
+    # Run-record export
+    # ------------------------------------------------------------------
+    def run_record(self) -> dict:
+        """Versioned JSON-ready summary of the engine's scenario counters.
+
+        The export hook the ablation harness
+        (:mod:`repro.experiments.ablation`) records per run: total events
+        per middleware log (the logs themselves stay on the engine for
+        callers that need the per-round detail), the quarantine reasons
+        broken out by code, async throughput counters, and the traffic
+        totals.  Algorithms attach it to ``RunResult.extras
+        ["engine_record"]`` so every run — regardless of strategy —
+        reports the same counter schema.
+        """
+        reasons: dict[str, int] = {}
+        for _, entries in self.quarantine_log:
+            for _, reason in entries:
+                reasons[reason] = reasons.get(reason, 0) + 1
+        return {
+            "schema": 1,
+            "async": self.is_async,
+            "n_dispatched": sum(
+                len(ids) for _, ids in self.participation_log
+            ),
+            "n_dropped": sum(len(ids) for _, ids in self.drop_log),
+            "n_stragglers": sum(len(ids) for _, ids in self.straggler_log),
+            "n_stale_folded": sum(len(ids) for _, ids in self.stale_log),
+            "n_departed": sum(len(ids) for _, ids in self.departure_log),
+            "n_quarantined": sum(
+                len(entries) for _, entries in self.quarantine_log
+            ),
+            "quarantine_reasons": reasons,
+            "n_aggregation_events": int(self.n_aggregation_events),
+            "n_updates_absorbed": int(self.n_updates_absorbed),
+            "uploaded_params": int(self.env.tracker.total_uploaded),
+            "downloaded_params": int(self.env.tracker.total_downloaded),
+        }
